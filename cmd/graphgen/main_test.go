@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRunFamilies(t *testing.T) {
+	for _, family := range []string{"ba", "batriad", "ws", "er", "complete", "star"} {
+		var out bytes.Buffer
+		args := []string{"-family", family, "-n", "40", "-m", "4"}
+		if family == "er" {
+			args = []string{"-family", "er", "-n", "40", "-m", "100"}
+		}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		g, _, err := graph.ReadEdgeList(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("%s: output not a valid edge list: %v", family, err)
+		}
+		if g.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", family)
+		}
+	}
+}
+
+func TestRunDatasetFamilies(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-family", "dblp", "-n", "100"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := graph.ReadEdgeList(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 {
+		t.Fatalf("nodes = %d, want 100", g.NumNodes())
+	}
+}
+
+func TestRunArenasFamilyAndOutFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the full 1133-node stand-in")
+	}
+	path := t.TempDir() + "/arenas.txt"
+	var out bytes.Buffer
+	if err := run([]string{"-family", "arenas", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, _, err := graph.ReadEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1133 {
+		t.Fatalf("nodes = %d, want 1133", g.NumNodes())
+	}
+}
+
+func TestRunUnknownFamily(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-family", "toroid"}, &out); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-family", "ba", "-n", "50", "-m", "3", "-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-family", "ba", "-n", "50", "-m", "3", "-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different output")
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunSingleExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	// Redirect the printed series away from the test log.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	if err := run([]string{"-exp", "ext1", "-csv", filepath.Join(dir, "out")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "tab5", "-csv", filepath.Join(dir, "out")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "out", "tab5.csv")); err != nil {
+		t.Fatalf("tab5.csv not written: %v", err)
+	}
+}
+
+func TestRunEveryArtefactQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every artefact at quick scale")
+	}
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	for _, exp := range []string{"fig4", "fig5", "fig6", "tab3", "tab4", "ext2", "ext3", "ext4"} {
+		if err := run([]string{"-exp", exp}); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunRepsOverride(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	if err := run([]string{"-exp", "fig3", "-reps", "1", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+// Finance scenario from the paper's introduction: confidential financial
+// transactions between institutions are sensitive links. A regulator
+// publishes the interbank exposure network for systemic-risk research but
+// three bilateral credit lines are trade secrets.
+//
+// This example stresses the motif dimension: the same targets are
+// protected against all three threat models (Triangle, Rectangle, RecTri)
+// and the cost of each defense is compared — reproducing, on a domain
+// graph, the paper's observation that the Rectangle adversary is the most
+// expensive to defeat (highest k*).
+//
+// Run with: go run ./examples/finance
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/motif"
+	"repro/internal/tpp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(77))
+
+	// Interbank networks are dense cores with peripheral spokes — a
+	// configuration-model draw from a heavy-tailed degree sequence.
+	degs := gen.PowerLawDegrees(150, 2.3, 2, 40, rng)
+	g := gen.ConfigurationModel(degs, rng)
+	fmt.Printf("interbank network: %d institutions, %d exposures\n",
+		g.NumNodes(), g.NumEdges())
+
+	// Three confidential credit lines between mid-size institutions.
+	targets := pickTargets(g, rng, 3)
+	fmt.Printf("confidential credit lines: %v\n\n", targets)
+
+	fmt.Printf("%-10s %8s %10s %12s %14s\n", "motif", "s(∅,T)", "k*", "edges del.", "utility loss")
+	for _, pattern := range motif.Patterns {
+		problem, err := tpp.NewProblem(g, pattern, targets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		initial := problem.InitialSimilarity()
+		kstar, res, err := tpp.CriticalBudget(problem, tpp.Options{Engine: tpp.EngineLazy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		released := problem.ProtectedGraph(res.Protectors)
+		orig := metrics.Compute(g, metrics.LargeGraphMetrics, rand.New(rand.NewSource(5)))
+		rel := metrics.Compute(released, metrics.LargeGraphMetrics, rand.New(rand.NewSource(5)))
+		_, loss := metrics.AverageUtilityLoss(orig, rel)
+		fmt.Printf("%-10s %8d %10d %11.2f%% %13.2f%%\n",
+			pattern, initial, kstar,
+			100*float64(kstar)/float64(g.NumEdges()), loss*100)
+	}
+
+	fmt.Println("\nthe Rectangle adversary exploits 3-step exposure chains, so it")
+	fmt.Println("sees far more completing subgraphs and needs the largest deletion")
+	fmt.Println("budget — the paper's Fig. 3(b) observation, on an interbank graph.")
+}
+
+// pickTargets selects edges whose endpoints both have moderate degree, so
+// each target sits inside real motif structure.
+func pickTargets(g *graph.Graph, rng *rand.Rand, n int) []graph.Edge {
+	edges := g.Edges()
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	var out []graph.Edge
+	for _, e := range edges {
+		if g.Degree(e.U) >= 3 && g.Degree(e.V) >= 3 {
+			out = append(out, e)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+// Trust-system scenario (paper future work #3: "applications into real
+// trust systems or social graphs"): a running platform keeps publishing
+// its relationship graph while the graph evolves. A one-shot protection is
+// not enough — a single new link can complete fresh motifs and silently
+// re-expose a hidden target. This example drives tpp.Guard through a
+// simulated activity stream and shows the invariant holding at every step.
+//
+// Run with: go run ./examples/trustsystem
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/motif"
+	"repro/internal/tpp"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// Day 0: the platform's graph, with three confidential relationships.
+	g := gen.BarabasiAlbertTriad(250, 4, 0.5, rng)
+	targets := pickClusteredTargets(g, 3)
+	problem, err := tpp.NewProblem(g, motif.Triangle, targets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("day 0: %v\n", g.Summary())
+	fmt.Printf("confidential relationships: %v\n", targets)
+
+	guard, err := tpp.NewGuard(problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial protection: %d links deleted, similarity = %d\n\n",
+		len(guard.Deletions), guard.Similarity())
+
+	// Days 1..30: the platform grows — new members join, new friendships
+	// form, and occasionally one half of a hidden pair tries to re-add the
+	// confidential link.
+	interventions, admissions := 0, 0
+	for day := 1; day <= 30; day++ {
+		// A new member joins and makes two friends.
+		member := guard.AddNode()
+		for i := 0; i < 2; i++ {
+			friend := graph.NodeID(rng.Intn(int(member)))
+			if _, _, err := guard.AddEdge(member, friend); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Five random new friendships among existing members.
+		n := guard.Graph().NumNodes()
+		for i := 0; i < 5; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			admitted, deleted, err := guard.AddEdge(u, v)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if admitted {
+				admissions++
+			}
+			if len(deleted) > 0 {
+				interventions++
+				fmt.Printf("day %2d: link %d-%d completed target motifs — guard deleted %v\n",
+					day, u, v, deleted)
+			}
+		}
+		// Triadic closure near a hidden pair: a friend of one confidant
+		// befriends the other — exactly the event that would let a
+		// common-neighbour attack resurface the hidden link.
+		if day%5 == 0 {
+			tgt := targets[rng.Intn(len(targets))]
+			nbrs := guard.Graph().Neighbors(tgt.U)
+			if len(nbrs) > 0 {
+				w := nbrs[rng.Intn(len(nbrs))]
+				if w != tgt.V {
+					admitted, deleted, err := guard.AddEdge(w, tgt.V)
+					if err != nil {
+						log.Fatal(err)
+					}
+					if admitted && len(deleted) > 0 {
+						interventions++
+						fmt.Printf("day %2d: triadic closure %d-%d endangered %v — guard deleted %v\n",
+							day, w, tgt.V, tgt, deleted)
+					}
+				}
+			}
+		}
+		// Every few days someone attempts to re-create a hidden link.
+		if day%7 == 0 {
+			tgt := targets[rng.Intn(len(targets))]
+			admitted, _, err := guard.AddEdge(tgt.U, tgt.V)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if admitted {
+				log.Fatalf("day %d: target %v slipped through!", day, tgt)
+			}
+			fmt.Printf("day %2d: re-creation of hidden link %v refused\n", day, tgt)
+		}
+		if s := guard.Similarity(); s != 0 {
+			log.Fatalf("day %d: INVARIANT BROKEN, similarity %d", day, s)
+		}
+	}
+
+	fmt.Printf("\nafter 30 days: %v\n", guard.Graph().Summary())
+	fmt.Printf("admitted %d links, %d guard interventions, %d re-creation attempts refused\n",
+		admissions, interventions, guard.Rejected)
+	fmt.Printf("lifetime deletions: %d; similarity still %d — targets stayed hidden throughout\n",
+		len(guard.Deletions), guard.Similarity())
+}
+
+// pickClusteredTargets selects edges whose endpoints share neighbours, so
+// the initial protection has real work to do.
+func pickClusteredTargets(g *graph.Graph, n int) []graph.Edge {
+	var out []graph.Edge
+	for _, e := range g.Edges() {
+		if g.CommonNeighborCount(e.U, e.V) >= 2 {
+			out = append(out, e)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+// Package anonymize implements the *traditional* structural-level link
+// privacy mechanisms the TPP paper positions itself against (Sec. II and
+// VI-D): random link switching, random add/delete perturbation, and pure
+// link addition. They treat every link as sensitive and perturb the whole
+// graph.
+//
+// The package exists for the comparison experiments: TPP's target-level
+// protection achieves zero target disclosure at a fraction of the utility
+// cost, while these mechanisms either leave targets in the release or
+// destroy utility trying (paper Sec. VI-D additionally proves their
+// dissimilarity objectives are not monotone, so no greedy guarantee is
+// available for them).
+//
+// All mechanisms preserve simple-graph invariants and are deterministic
+// given the rng.
+package anonymize
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// maxAttemptFactor bounds rejection sampling: a mechanism gives up after
+// maxAttemptFactor·k failed proposals, which only triggers on degenerate
+// inputs (near-complete or near-empty graphs).
+const maxAttemptFactor = 64
+
+// RandomSwitch applies k degree-preserving edge switches (Ying & Wu):
+// pick edges (a,b) and (c,d) with four distinct endpoints and rewire them
+// to (a,d) and (c,b) when neither exists. Node degrees are exactly
+// preserved; link identities are not — that is the mechanism's privacy
+// argument.
+func RandomSwitch(g *graph.Graph, k int, rng *rand.Rand) (*graph.Graph, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("anonymize: negative switch count %d", k)
+	}
+	out := g.Clone()
+	edges := out.Edges()
+	if len(edges) < 2 {
+		return out, nil
+	}
+	done := 0
+	for attempts := 0; done < k && attempts < maxAttemptFactor*(k+1); attempts++ {
+		e1 := edges[rng.Intn(len(edges))]
+		e2 := edges[rng.Intn(len(edges))]
+		a, b, c, d := e1.U, e1.V, e2.U, e2.V
+		if a == c || a == d || b == c || b == d {
+			continue
+		}
+		if !out.HasEdge(a, b) || !out.HasEdge(c, d) {
+			continue // stale entry from an earlier switch
+		}
+		if out.HasEdge(a, d) || out.HasEdge(c, b) {
+			continue
+		}
+		out.RemoveEdge(a, b)
+		out.RemoveEdge(c, d)
+		out.AddEdge(a, d)
+		out.AddEdge(c, b)
+		edges = append(edges, graph.NewEdge(a, d), graph.NewEdge(c, b))
+		done++
+	}
+	return out, nil
+}
+
+// RandomAddDelete deletes k uniformly random edges and adds k uniformly
+// random non-edges — the classic random perturbation release. Edge count
+// is preserved; degrees are not.
+func RandomAddDelete(g *graph.Graph, k int, rng *rand.Rand) (*graph.Graph, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("anonymize: negative perturbation count %d", k)
+	}
+	out := g.Clone()
+	edges := out.Edges()
+	if k > len(edges) {
+		k = len(edges)
+	}
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for _, e := range edges[:k] {
+		out.RemoveEdgeE(e)
+	}
+	n := out.NumNodes()
+	added := 0
+	for attempts := 0; added < k && attempts < maxAttemptFactor*(k+1); attempts++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u == v || out.HasEdge(u, v) {
+			continue
+		}
+		out.AddEdge(u, v)
+		added++
+	}
+	return out, nil
+}
+
+// RandomAdd inserts k uniformly random non-edges. The paper's Sec. VI-D
+// shows addition can never help a target-dissimilarity objective (added
+// links never break target subgraphs and may create new ones), making this
+// the weakest mechanism — included to demonstrate exactly that.
+func RandomAdd(g *graph.Graph, k int, rng *rand.Rand) (*graph.Graph, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("anonymize: negative addition count %d", k)
+	}
+	out := g.Clone()
+	n := out.NumNodes()
+	added := 0
+	for attempts := 0; added < k && attempts < maxAttemptFactor*(k+1); attempts++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u == v || out.HasEdge(u, v) {
+			continue
+		}
+		out.AddEdge(u, v)
+		added++
+	}
+	return out, nil
+}
+
+// Mechanism names a structural anonymization scheme for the comparison
+// experiments.
+type Mechanism int
+
+const (
+	Switch Mechanism = iota
+	AddDelete
+	Add
+)
+
+// Mechanisms lists all structural baselines.
+var Mechanisms = []Mechanism{Switch, AddDelete, Add}
+
+// String names the mechanism.
+func (m Mechanism) String() string {
+	switch m {
+	case Switch:
+		return "RandomSwitch"
+	case AddDelete:
+		return "RandomAddDelete"
+	case Add:
+		return "RandomAdd"
+	}
+	return fmt.Sprintf("Mechanism(%d)", int(m))
+}
+
+// Apply runs the mechanism with perturbation scale k.
+func Apply(m Mechanism, g *graph.Graph, k int, rng *rand.Rand) (*graph.Graph, error) {
+	switch m {
+	case Switch:
+		return RandomSwitch(g, k, rng)
+	case AddDelete:
+		return RandomAddDelete(g, k, rng)
+	case Add:
+		return RandomAdd(g, k, rng)
+	}
+	return nil, fmt.Errorf("anonymize: unknown mechanism %v", m)
+}
+
+// Exposure quantifies target disclosure in a structurally anonymized
+// release: the fraction of target links still present verbatim. (TPP
+// releases always score 0 here by construction — targets are deleted in
+// phase 1.)
+func Exposure(released *graph.Graph, targets []graph.Edge) float64 {
+	if len(targets) == 0 {
+		return 0
+	}
+	present := 0
+	for _, t := range targets {
+		if released.HasEdgeE(t) {
+			present++
+		}
+	}
+	return float64(present) / float64(len(targets))
+}

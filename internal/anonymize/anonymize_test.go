@@ -1,0 +1,166 @@
+package anonymize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestRandomSwitchPreservesDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.BarabasiAlbertTriad(100, 3, 0.4, rng)
+	before := g.Degrees()
+	out, err := RandomSwitch(g, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := out.Degrees()
+	for v := range before {
+		if before[v] != after[v] {
+			t.Fatalf("degree of %d changed: %d -> %d", v, before[v], after[v])
+		}
+	}
+	if out.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d -> %d", g.NumEdges(), out.NumEdges())
+	}
+}
+
+func TestRandomSwitchDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.BarabasiAlbertTriad(50, 3, 0.4, rng)
+	edges := g.Edges()
+	if _, err := RandomSwitch(g, 20, rng); err != nil {
+		t.Fatal(err)
+	}
+	after := g.Edges()
+	if len(edges) != len(after) {
+		t.Fatal("input graph mutated")
+	}
+	for i := range edges {
+		if edges[i] != after[i] {
+			t.Fatal("input graph edges changed")
+		}
+	}
+}
+
+func TestRandomSwitchActuallySwitches(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.BarabasiAlbertTriad(100, 3, 0.4, rng)
+	out, err := RandomSwitch(g, 80, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	out.EachEdge(func(e graph.Edge) bool {
+		if !g.HasEdgeE(e) {
+			changed++
+		}
+		return true
+	})
+	if changed == 0 {
+		t.Fatal("no edges were rewired")
+	}
+}
+
+func TestRandomAddDeletePreservesEdgeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := gen.BarabasiAlbertTriad(80, 3, 0.4, rng)
+	out, err := RandomAddDelete(g, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d -> %d", g.NumEdges(), out.NumEdges())
+	}
+}
+
+func TestRandomAddIncreasesEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := gen.BarabasiAlbertTriad(80, 3, 0.4, rng)
+	out, err := RandomAdd(g, 25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumEdges() != g.NumEdges()+25 {
+		t.Fatalf("edges = %d, want %d", out.NumEdges(), g.NumEdges()+25)
+	}
+}
+
+func TestNegativeCountsRejected(t *testing.T) {
+	g := gen.Complete(5)
+	rng := rand.New(rand.NewSource(6))
+	for _, m := range Mechanisms {
+		if _, err := Apply(m, g, -1, rng); err == nil {
+			t.Fatalf("%v accepted negative count", m)
+		}
+	}
+}
+
+func TestDegenerateGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Near-complete graph: additions must terminate via attempt bound.
+	if _, err := RandomAdd(gen.Complete(6), 100, rng); err != nil {
+		t.Fatal(err)
+	}
+	// Tiny graph: switches must terminate.
+	small := graph.New(3)
+	small.AddEdge(0, 1)
+	if _, err := RandomSwitch(small, 10, rng); err != nil {
+		t.Fatal(err)
+	}
+	// Empty graph.
+	if _, err := RandomAddDelete(graph.New(4), 5, rng); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExposure(t *testing.T) {
+	g := gen.Complete(4)
+	targets := []graph.Edge{graph.NewEdge(0, 1), graph.NewEdge(2, 3)}
+	if got := Exposure(g, targets); got != 1 {
+		t.Fatalf("exposure = %v, want 1", got)
+	}
+	g.RemoveEdge(0, 1)
+	if got := Exposure(g, targets); got != 0.5 {
+		t.Fatalf("exposure = %v, want 0.5", got)
+	}
+	if got := Exposure(g, nil); got != 0 {
+		t.Fatalf("exposure of empty target set = %v, want 0", got)
+	}
+}
+
+// Property: all mechanisms yield simple graphs (the substrate enforces it,
+// but the mechanisms must not trip its panics either) and are
+// deterministic per seed.
+func TestPropertyMechanismsDeterministic(t *testing.T) {
+	for _, m := range Mechanisms {
+		m := m
+		f := func(seed int64) bool {
+			g := gen.BarabasiAlbertTriad(40, 3, 0.4, rand.New(rand.NewSource(seed)))
+			a, err := Apply(m, g, 10, rand.New(rand.NewSource(seed+1)))
+			if err != nil {
+				return false
+			}
+			b, err := Apply(m, g, 10, rand.New(rand.NewSource(seed+1)))
+			if err != nil {
+				return false
+			}
+			ae, be := a.Edges(), b.Edges()
+			if len(ae) != len(be) {
+				return false
+			}
+			for i := range ae {
+				if ae[i] != be[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+}

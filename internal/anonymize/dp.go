@@ -1,0 +1,93 @@
+package anonymize
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Differentially private edge release via randomized response — the
+// remaining family of related work (paper Sec. II, refs [7]–[10]). Under
+// ε-edge-DP randomized response, every node pair's bit is flipped with
+// probability q = 1/(1+e^ε). The mechanism protects *every* edge equally;
+// the comparison experiments show what that uniformity costs: for useful ε
+// the expected number of added edges is q·Θ(n²), drowning the graph in
+// noise, while targets still survive verbatim with probability 1−q.
+
+// DPFlipProbability returns q = 1/(1+e^ε), the per-pair flip probability
+// of ε-DP randomized response.
+func DPFlipProbability(eps float64) float64 {
+	return 1 / (1 + math.Exp(eps))
+}
+
+// DPEdgeFlip applies randomized response with parameter ε to the graph.
+// Each existing edge is deleted with probability q; the number of added
+// non-edges is drawn as Binomial(#non-edges, q) (sampled exactly when the
+// count is small, by normal approximation above 10⁶ trials) and placed
+// uniformly. It returns the perturbed graph and the total number of flips
+// performed.
+func DPEdgeFlip(g *graph.Graph, eps float64, rng *rand.Rand) (*graph.Graph, int, error) {
+	if eps <= 0 {
+		return nil, 0, fmt.Errorf("anonymize: DP epsilon must be positive, got %v", eps)
+	}
+	q := DPFlipProbability(eps)
+	out := g.Clone()
+	flips := 0
+
+	// Deletions: independent per edge.
+	for _, e := range g.Edges() {
+		if rng.Float64() < q {
+			out.RemoveEdgeE(e)
+			flips++
+		}
+	}
+
+	// Additions: Binomial(#non-edges, q) uniform non-edges.
+	n := g.NumNodes()
+	nonEdges := int64(n)*int64(n-1)/2 - int64(g.NumEdges())
+	toAdd := binomial(nonEdges, q, rng)
+	added := 0
+	for attempts := int64(0); int64(added) < toAdd && attempts < 64*(toAdd+1); attempts++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u == v || out.HasEdge(u, v) {
+			continue
+		}
+		out.AddEdge(u, v)
+		added++
+		flips++
+	}
+	return out, flips, nil
+}
+
+// binomial samples Binomial(trials, p): exactly for small trial counts,
+// by normal approximation otherwise (fine for the Θ(n²) regime this
+// mechanism lives in).
+func binomial(trials int64, p float64, rng *rand.Rand) int64 {
+	if trials <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return trials
+	}
+	if trials <= 1_000_000 {
+		var k int64
+		for i := int64(0); i < trials; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(trials) * p
+	std := math.Sqrt(mean * (1 - p))
+	k := int64(math.Round(mean + rng.NormFloat64()*std))
+	if k < 0 {
+		k = 0
+	}
+	if k > trials {
+		k = trials
+	}
+	return k
+}

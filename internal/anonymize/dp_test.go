@@ -1,0 +1,97 @@
+package anonymize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestDPFlipProbability(t *testing.T) {
+	// ε = 0 would give q = 1/2; large ε → q → 0.
+	if q := DPFlipProbability(0); math.Abs(q-0.5) > 1e-12 {
+		t.Fatalf("q(0) = %v, want 0.5", q)
+	}
+	if q := DPFlipProbability(20); q > 1e-8 {
+		t.Fatalf("q(20) = %v, want ≈0", q)
+	}
+	if q := DPFlipProbability(math.Log(99)); math.Abs(q-0.01) > 1e-12 {
+		t.Fatalf("q(ln 99) = %v, want 0.01", q)
+	}
+}
+
+func TestDPEdgeFlipValidation(t *testing.T) {
+	g := gen.Complete(5)
+	if _, _, err := DPEdgeFlip(g, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, _, err := DPEdgeFlip(g, -1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("negative eps accepted")
+	}
+}
+
+func TestDPEdgeFlipLargeEpsIsIdentityLike(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.BarabasiAlbertTriad(100, 3, 0.4, rng)
+	out, flips, err := DPEdgeFlip(g, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips != 0 {
+		t.Fatalf("flips = %d at eps=20, want 0", flips)
+	}
+	if out.NumEdges() != g.NumEdges() {
+		t.Fatal("edge count changed with no flips")
+	}
+}
+
+func TestDPEdgeFlipSmallEpsFloodsGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.BarabasiAlbertTriad(200, 3, 0.4, rng)
+	// ε = ln 99 → q = 1%: non-edges ≈ 19 300, so ≈ 190 noisy additions
+	// versus 594 real edges — the utility catastrophe the comparison
+	// experiments document.
+	out, flips, err := DPEdgeFlip(g, math.Log(99), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips < 100 {
+		t.Fatalf("flips = %d, expected a flood of noise", flips)
+	}
+	if out.NumEdges() <= g.NumEdges() {
+		t.Fatalf("edges %d -> %d: additions should dominate deletions at this density",
+			g.NumEdges(), out.NumEdges())
+	}
+}
+
+func TestDPEdgeFlipDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := gen.BarabasiAlbertTriad(60, 3, 0.4, rng)
+	m := g.NumEdges()
+	if _, _, err := DPEdgeFlip(g, 1, rng); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != m {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestBinomialSampler(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if got := binomial(0, 0.5, rng); got != 0 {
+		t.Fatalf("binomial(0) = %d", got)
+	}
+	if got := binomial(100, 0, rng); got != 0 {
+		t.Fatalf("binomial(p=0) = %d", got)
+	}
+	if got := binomial(100, 1, rng); got != 100 {
+		t.Fatalf("binomial(p=1) = %d", got)
+	}
+	// Normal-approximation branch stays within [0, trials] and near the
+	// mean.
+	big := binomial(10_000_000, 0.3, rng)
+	if big < 2_900_000 || big > 3_100_000 {
+		t.Fatalf("binomial(1e7, .3) = %d, far from mean 3e6", big)
+	}
+}

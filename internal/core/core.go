@@ -1,0 +1,56 @@
+// Package core is the stable façade over the paper's primary contribution.
+//
+// The implementation lives in repro/internal/tpp (problem model, greedy
+// protector selection, budget division, baselines); this package re-exports
+// the public surface under one roof so that examples, commands and external
+// callers depend on a single import path. All names are type aliases —
+// values flow freely between core and tpp.
+package core
+
+import (
+	"repro/internal/tpp"
+)
+
+// Problem is one TPP instance. See tpp.Problem.
+type Problem = tpp.Problem
+
+// Result records a protector-selection run. See tpp.Result.
+type Result = tpp.Result
+
+// Options configures engine and candidate scope. See tpp.Options.
+type Options = tpp.Options
+
+// Engine and Scope enumerations.
+type (
+	Engine = tpp.Engine
+	Scope  = tpp.Scope
+)
+
+// Engine and scope constants.
+const (
+	EngineRecount = tpp.EngineRecount
+	EngineIndexed = tpp.EngineIndexed
+	EngineLazy    = tpp.EngineLazy
+
+	ScopeAllEdges        = tpp.ScopeAllEdges
+	ScopeTargetSubgraphs = tpp.ScopeTargetSubgraphs
+)
+
+// Constructors and algorithms.
+var (
+	NewProblem = tpp.NewProblem
+
+	SGBGreedy      = tpp.SGBGreedy
+	CTGreedy       = tpp.CTGreedy
+	WTGreedy       = tpp.WTGreedy
+	CriticalBudget = tpp.CriticalBudget
+
+	TBD           = tpp.TBD
+	TBDForProblem = tpp.TBDForProblem
+	DBD           = tpp.DBD
+	DBDForProblem = tpp.DBDForProblem
+
+	RandomDeletion            = tpp.RandomDeletion
+	RandomDeletionFromTargets = tpp.RandomDeletionFromTargets
+	OptimalSGB                = tpp.OptimalSGB
+)

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/motif"
+)
+
+// The façade must be drop-in interchangeable with internal/tpp: build and
+// solve a problem purely through core's names.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 1)
+	g.AddEdge(0, 3)
+	g.AddEdge(3, 1)
+
+	p, err := NewProblem(g, motif.Triangle, []graph.Edge{graph.NewEdge(0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kstar, res, err := CriticalBudget(p, Options{Engine: EngineLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kstar != 2 || !res.FullProtection() {
+		t.Fatalf("k* = %d, full = %v; want 2 triangles broken with 2 deletions", kstar, res.FullProtection())
+	}
+
+	budgets, err := TBDForProblem(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CTGreedy(p, budgets, Options{Engine: EngineIndexed}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WTGreedy(p, budgets, Options{Engine: EngineIndexed}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DBDForProblem(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OptimalSGB(p, 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package datasets
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestArenasEmailSimShape(t *testing.T) {
+	d := ArenasEmailSim(1)
+	if d.Name != "arenas-email-sim" {
+		t.Fatalf("name = %q", d.Name)
+	}
+	if d.Graph.NumNodes() != 1133 {
+		t.Fatalf("nodes = %d, want 1133", d.Graph.NumNodes())
+	}
+	m := d.Graph.NumEdges()
+	// Real Arenas-email has 5451 edges; the generator must land close.
+	if m < 5000 || m > 6000 {
+		t.Fatalf("edges = %d, want ≈5451", m)
+	}
+	if !d.Graph.IsConnected() {
+		t.Fatal("growth models produce connected graphs")
+	}
+}
+
+func TestArenasEmailSimDeterministic(t *testing.T) {
+	a := ArenasEmailSim(7)
+	b := ArenasEmailSim(7)
+	if !reflect.DeepEqual(a.Graph.Edges(), b.Graph.Edges()) {
+		t.Fatal("same seed produced different graphs")
+	}
+	c := ArenasEmailSim(8)
+	if reflect.DeepEqual(a.Graph.Edges(), c.Graph.Edges()) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestDBLPSimScales(t *testing.T) {
+	d := DBLPSim(2000, 1)
+	if d.Graph.NumNodes() != 2000 {
+		t.Fatalf("nodes = %d", d.Graph.NumNodes())
+	}
+	// Mean degree should be near the real network's ≈6.6 (m=3 → mean ≈6).
+	mean := 2 * float64(d.Graph.NumEdges()) / float64(d.Graph.NumNodes())
+	if mean < 4 || mean > 9 {
+		t.Fatalf("mean degree = %v, want ≈6", mean)
+	}
+	if tiny := DBLPSim(1, 1); tiny.Graph.NumNodes() < 8 {
+		t.Fatal("scale floor not applied")
+	}
+}
+
+func TestSampleTargets(t *testing.T) {
+	d := ArenasEmailSim(3)
+	rng := rand.New(rand.NewSource(3))
+	targets := SampleTargets(d.Graph, 20, rng)
+	if len(targets) != 20 {
+		t.Fatalf("targets = %d, want 20", len(targets))
+	}
+	seen := make(map[graph.Edge]bool)
+	for _, tg := range targets {
+		if !d.Graph.HasEdgeE(tg) {
+			t.Fatalf("target %v not an edge", tg)
+		}
+		if seen[tg] {
+			t.Fatalf("duplicate target %v", tg)
+		}
+		seen[tg] = true
+	}
+	// Asking for more targets than edges clamps.
+	small := SampleTargets(d.Graph, d.Graph.NumEdges()+10, rng)
+	if len(small) != d.Graph.NumEdges() {
+		t.Fatalf("clamp failed: %d", len(small))
+	}
+}

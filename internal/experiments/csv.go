@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// CSV export: one file per figure (long format: pattern, method, k, value)
+// and one per table (pattern, method, loss), ready for any plotting tool.
+
+func writeFigureCSV(dir, id string, frs []FigureResult) error {
+	path := filepath.Join(dir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"pattern", "method", "k", "value"}); err != nil {
+		return err
+	}
+	for _, fr := range frs {
+		for _, s := range fr.Series {
+			for i, k := range s.K {
+				rec := []string{
+					fr.Pattern.String(),
+					s.Method,
+					strconv.Itoa(k),
+					strconv.FormatFloat(s.Value[i], 'g', -1, 64),
+				}
+				if err := w.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeTableCSV(dir string, tr *TableResult) error {
+	path := filepath.Join(dir, tr.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"pattern", "kstar", "method", "avg_utility_loss"}); err != nil {
+		return err
+	}
+	for _, row := range tr.Rows {
+		for _, m := range tableMethods() {
+			rec := []string{
+				row.Pattern.String(),
+				strconv.Itoa(row.KStar),
+				m.name,
+				strconv.FormatFloat(row.Loss[m.name], 'g', -1, 64),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

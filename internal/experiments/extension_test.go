@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExt1StructuralComparison(t *testing.T) {
+	cfg, buf := quickCfg(t)
+	results, err := cfg.Ext1StructuralComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("patterns = %d, want 3", len(results))
+	}
+	for _, er := range results {
+		if len(er.Rows) != 4 {
+			t.Fatalf("%v: rows = %d, want TPP + 3 baselines", er.Pattern, len(er.Rows))
+		}
+		tppRow := er.Rows[0]
+		if tppRow.Mechanism != "TPP (SGB-Greedy)" {
+			t.Fatalf("first row = %q", tppRow.Mechanism)
+		}
+		// TPP's defining guarantees: zero verbatim exposure and zero motif
+		// recoverability.
+		if tppRow.Exposure != 0 || tppRow.ResidualSimilarity != 0 {
+			t.Fatalf("%v: TPP row leaked: %+v", er.Pattern, tppRow)
+		}
+		// Structural mechanisms at the same edit budget expose most targets
+		// verbatim (they perturb uniformly, not at the targets).
+		for _, row := range er.Rows[1:] {
+			if row.Exposure < 0.5 {
+				t.Fatalf("%v %s: exposure %v unexpectedly low — the comparison premise fails",
+					er.Pattern, row.Mechanism, row.Exposure)
+			}
+		}
+		// RandomAdd never removes links, so exposure stays 100%.
+		add := er.Rows[3]
+		if add.Mechanism != "RandomAdd" || add.Exposure != 1 {
+			t.Fatalf("RandomAdd row wrong: %+v", add)
+		}
+	}
+	if !strings.Contains(buf.String(), "structural anonymization") {
+		t.Fatal("ext1 not printed")
+	}
+}
+
+func TestExt3PentagonPanel(t *testing.T) {
+	cfg, _ := quickCfg(t)
+	fr, err := cfg.Ext3PentagonPanel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Pattern.String() != "Pentagon" {
+		t.Fatalf("pattern = %v", fr.Pattern)
+	}
+	if len(fr.Series) != 7 {
+		t.Fatalf("series = %d, want 7", len(fr.Series))
+	}
+	// Greedy reaches zero at the max sampled budget (k* by construction),
+	// i.e. the machinery is fully pattern-generic.
+	for _, s := range fr.Series {
+		if s.Method == "SGB-Greedy(-R)" && s.Value[len(s.Value)-1] != 0 {
+			t.Fatalf("Pentagon SGB did not reach full protection: %v", s.Value)
+		}
+	}
+}
+
+func TestExt4DPComparison(t *testing.T) {
+	cfg, buf := quickCfg(t)
+	rows, err := cfg.Ext4DPComparison(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	tppRow, dpRow := rows[0], rows[1]
+	if tppRow.Exposure != 0 {
+		t.Fatalf("TPP exposure = %v, want 0", tppRow.Exposure)
+	}
+	// With q = 1/(1+e²) ≈ 0.12, most targets survive verbatim in the DP
+	// release.
+	if dpRow.Exposure < 0.5 {
+		t.Fatalf("DP exposure = %v, expected majority survival", dpRow.Exposure)
+	}
+	if !strings.Contains(buf.String(), "randomized response") {
+		t.Fatal("ext4 not printed")
+	}
+}
+
+func TestExt2KatzDefense(t *testing.T) {
+	cfg, buf := quickCfg(t)
+	rows, err := cfg.Ext2KatzDefense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// The greedy defense at the max budget must beat random deletion and
+	// reduce the undefended score.
+	last := rows[len(rows)-1]
+	if last.KatzScore > last.RDKatz {
+		t.Fatalf("Katz greedy (%v) worse than random deletion (%v)", last.KatzScore, last.RDKatz)
+	}
+	if last.Reduction <= 0 {
+		t.Fatalf("no reduction achieved: %+v", last)
+	}
+	// Scores are non-increasing in k.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].KatzScore > rows[i-1].KatzScore+1e-12 {
+			t.Fatalf("Katz score increased along k: %+v", rows)
+		}
+	}
+	if !strings.Contains(buf.String(), "Katz-based TPP") {
+		t.Fatal("ext2 not printed")
+	}
+}

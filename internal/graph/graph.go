@@ -1,0 +1,302 @@
+// Package graph provides the undirected simple-graph substrate used by the
+// TPP (target privacy preserving) library.
+//
+// The representation is tuned for the access patterns of motif-based link
+// prediction and greedy protector selection: O(1) edge existence tests,
+// O(deg) neighbor iteration, cheap edge deletion/restoration, and fully
+// deterministic iteration orders so that greedy algorithms are reproducible
+// run to run.
+//
+// Nodes are dense integer IDs in [0, NumNodes). Edges are canonicalised so
+// that Edge.U < Edge.V always holds; the zero Edge is invalid (a self loop).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a vertex. Node IDs are dense: a graph with n nodes uses
+// IDs 0..n-1.
+type NodeID = int32
+
+// Edge is an undirected edge with canonical ordering U < V.
+type Edge struct {
+	U, V NodeID
+}
+
+// NewEdge returns the canonical form of the edge {u, v}.
+// It panics if u == v: self loops are not representable in a simple graph.
+func NewEdge(u, v NodeID) Edge {
+	switch {
+	case u < v:
+		return Edge{u, v}
+	case v < u:
+		return Edge{v, u}
+	default:
+		panic(fmt.Sprintf("graph: self loop (%d,%d) is not a valid edge", u, v))
+	}
+}
+
+// Canonical reports whether e is already in canonical form (U < V).
+func (e Edge) Canonical() bool { return e.U < e.V }
+
+// Other returns the endpoint of e that is not n.
+// It panics if n is not an endpoint of e.
+func (e Edge) Other(n NodeID) NodeID {
+	switch n {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %v", n, e))
+}
+
+// Has reports whether n is an endpoint of e.
+func (e Edge) Has(n NodeID) bool { return e.U == n || e.V == n }
+
+// String renders the edge as "u-v".
+func (e Edge) String() string { return fmt.Sprintf("%d-%d", e.U, e.V) }
+
+// Less orders edges lexicographically; it defines the deterministic edge
+// iteration order used throughout the library.
+func (e Edge) Less(o Edge) bool {
+	if e.U != o.U {
+		return e.U < o.U
+	}
+	return e.V < o.V
+}
+
+// SortEdges sorts a slice of edges into the canonical lexicographic order.
+func SortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool { return es[i].Less(es[j]) })
+}
+
+// Graph is a mutable undirected simple graph over dense node IDs.
+//
+// The zero value is an empty graph with no nodes; use New to pre-size.
+// Graph is not safe for concurrent mutation; concurrent reads are safe.
+type Graph struct {
+	adj   []map[NodeID]struct{}
+	edges int
+}
+
+// New returns an empty graph with n nodes (IDs 0..n-1) and no edges.
+func New(n int) *Graph {
+	g := &Graph{adj: make([]map[NodeID]struct{}, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[NodeID]struct{})
+	}
+	return g
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// AddNode appends a new isolated node and returns its ID.
+func (g *Graph) AddNode() NodeID {
+	g.adj = append(g.adj, make(map[NodeID]struct{}))
+	return NodeID(len(g.adj) - 1)
+}
+
+// valid panics unless n is a node of g.
+func (g *Graph) valid(n NodeID) {
+	if n < 0 || int(n) >= len(g.adj) {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", n, len(g.adj)))
+	}
+}
+
+// AddEdge inserts the undirected edge {u, v}. It reports whether the edge
+// was newly added (false if it already existed). Self loops panic.
+func (g *Graph) AddEdge(u, v NodeID) bool {
+	e := NewEdge(u, v) // canonicalise + reject self loops
+	g.valid(e.U)
+	g.valid(e.V)
+	if _, ok := g.adj[e.U][e.V]; ok {
+		return false
+	}
+	g.adj[e.U][e.V] = struct{}{}
+	g.adj[e.V][e.U] = struct{}{}
+	g.edges++
+	return true
+}
+
+// AddEdgeE is AddEdge taking an Edge value.
+func (g *Graph) AddEdgeE(e Edge) bool { return g.AddEdge(e.U, e.V) }
+
+// RemoveEdge deletes the undirected edge {u, v}, reporting whether it
+// existed.
+func (g *Graph) RemoveEdge(u, v NodeID) bool {
+	e := NewEdge(u, v)
+	g.valid(e.U)
+	g.valid(e.V)
+	if _, ok := g.adj[e.U][e.V]; !ok {
+		return false
+	}
+	delete(g.adj[e.U], e.V)
+	delete(g.adj[e.V], e.U)
+	g.edges--
+	return true
+}
+
+// RemoveEdgeE is RemoveEdge taking an Edge value.
+func (g *Graph) RemoveEdgeE(e Edge) bool { return g.RemoveEdge(e.U, e.V) }
+
+// RemoveEdges removes every edge in es, ignoring edges already absent.
+// It returns the number of edges actually removed.
+func (g *Graph) RemoveEdges(es []Edge) int {
+	n := 0
+	for _, e := range es {
+		if g.RemoveEdgeE(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// HasEdge reports whether the edge {u, v} exists. HasEdge(n, n) is false.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if u == v || u < 0 || v < 0 || int(u) >= len(g.adj) || int(v) >= len(g.adj) {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// HasEdgeE is HasEdge taking an Edge value.
+func (g *Graph) HasEdgeE(e Edge) bool { return g.HasEdge(e.U, e.V) }
+
+// Degree returns the degree of node n.
+func (g *Graph) Degree(n NodeID) int {
+	g.valid(n)
+	return len(g.adj[n])
+}
+
+// Neighbors returns the neighbors of n as a freshly allocated slice sorted
+// ascending. Prefer EachNeighbor in hot paths to avoid the allocation.
+func (g *Graph) Neighbors(n NodeID) []NodeID {
+	g.valid(n)
+	out := make([]NodeID, 0, len(g.adj[n]))
+	for w := range g.adj[n] {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EachNeighbor calls fn for every neighbor of n in unspecified order.
+// Iteration stops early if fn returns false. The graph must not be mutated
+// during iteration.
+func (g *Graph) EachNeighbor(n NodeID, fn func(w NodeID) bool) {
+	g.valid(n)
+	for w := range g.adj[n] {
+		if !fn(w) {
+			return
+		}
+	}
+}
+
+// CommonNeighbors returns Γ(u) ∩ Γ(v) sorted ascending.
+func (g *Graph) CommonNeighbors(u, v NodeID) []NodeID {
+	g.valid(u)
+	g.valid(v)
+	a, b := g.adj[u], g.adj[v]
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var out []NodeID
+	for w := range a {
+		if _, ok := b[w]; ok {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CommonNeighborCount returns |Γ(u) ∩ Γ(v)| without allocating.
+func (g *Graph) CommonNeighborCount(u, v NodeID) int {
+	g.valid(u)
+	g.valid(v)
+	a, b := g.adj[u], g.adj[v]
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	n := 0
+	for w := range a {
+		if _, ok := b[w]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Edges returns every edge in canonical lexicographic order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.edges)
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if NodeID(u) < v {
+				out = append(out, Edge{NodeID(u), v})
+			}
+		}
+	}
+	SortEdges(out)
+	return out
+}
+
+// EachEdge calls fn for every edge in unspecified order; iteration stops
+// early if fn returns false.
+func (g *Graph) EachEdge(fn func(e Edge) bool) {
+	for u := range g.adj {
+		for v := range g.adj[u] {
+			if NodeID(u) < v {
+				if !fn(Edge{NodeID(u), v}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([]map[NodeID]struct{}, len(g.adj)), edges: g.edges}
+	for i, m := range g.adj {
+		cm := make(map[NodeID]struct{}, len(m))
+		for w := range m {
+			cm[w] = struct{}{}
+		}
+		c.adj[i] = cm
+	}
+	return c
+}
+
+// Degrees returns the degree of every node, indexed by NodeID.
+func (g *Graph) Degrees() []int {
+	out := make([]int, len(g.adj))
+	for i, m := range g.adj {
+		out[i] = len(m)
+	}
+	return out
+}
+
+// MaxDegree returns the largest degree in the graph (0 for empty graphs).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, m := range g.adj {
+		if len(m) > max {
+			max = len(m)
+		}
+	}
+	return max
+}
+
+// String summarises the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.NumNodes(), g.NumEdges())
+}

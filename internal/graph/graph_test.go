@@ -1,0 +1,357 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEdgeCanonical(t *testing.T) {
+	e := NewEdge(5, 2)
+	if e.U != 2 || e.V != 5 {
+		t.Fatalf("NewEdge(5,2) = %v, want 2-5", e)
+	}
+	if !e.Canonical() {
+		t.Fatalf("edge %v should be canonical", e)
+	}
+	if got := NewEdge(2, 5); got != e {
+		t.Fatalf("NewEdge is not order independent: %v vs %v", got, e)
+	}
+}
+
+func TestNewEdgeSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEdge(3,3) did not panic")
+		}
+	}()
+	NewEdge(3, 3)
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := NewEdge(1, 7)
+	if e.Other(1) != 7 || e.Other(7) != 1 {
+		t.Fatalf("Other endpoints wrong for %v", e)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other(99) did not panic")
+		}
+	}()
+	e.Other(99)
+}
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := New(4)
+	if !g.AddEdge(0, 1) {
+		t.Fatal("first AddEdge returned false")
+	}
+	if g.AddEdge(1, 0) {
+		t.Fatal("duplicate AddEdge returned true")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("HasEdge should be symmetric")
+	}
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge returned false for existing edge")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Fatal("second RemoveEdge returned true")
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges after removal = %d, want 0", g.NumEdges())
+	}
+}
+
+func TestHasEdgeOutOfRange(t *testing.T) {
+	g := New(3)
+	if g.HasEdge(0, 5) || g.HasEdge(-1, 0) || g.HasEdge(2, 2) {
+		t.Fatal("HasEdge should be false for out-of-range or self pairs")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(5)
+	g.AddEdge(2, 4)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	want := []NodeID{0, 3, 4}
+	if got := g.Neighbors(2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Neighbors(2) = %v, want %v", got, want)
+	}
+	if g.Degree(2) != 3 {
+		t.Fatalf("Degree(2) = %d, want 3", g.Degree(2))
+	}
+}
+
+func TestCommonNeighbors(t *testing.T) {
+	g := New(6)
+	for _, e := range [][2]NodeID{{0, 2}, {0, 3}, {0, 4}, {1, 3}, {1, 4}, {1, 5}} {
+		g.AddEdge(e[0], e[1])
+	}
+	want := []NodeID{3, 4}
+	if got := g.CommonNeighbors(0, 1); !reflect.DeepEqual(got, want) {
+		t.Fatalf("CommonNeighbors = %v, want %v", got, want)
+	}
+	if got := g.CommonNeighborCount(0, 1); got != 2 {
+		t.Fatalf("CommonNeighborCount = %d, want 2", got)
+	}
+}
+
+func TestEdgesSortedAndComplete(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 1)
+	want := []Edge{{0, 1}, {0, 2}, {1, 3}}
+	if got := g.Edges(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Edges = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	c := g.Clone()
+	c.AddEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Fatal("mutating the clone changed the original")
+	}
+	if g.NumEdges() != 1 || c.NumEdges() != 2 {
+		t.Fatalf("edge counts wrong: orig=%d clone=%d", g.NumEdges(), c.NumEdges())
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	// path 0-1-2-3 plus isolated node 4
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	d := g.BFSDistances(0)
+	want := []int32{0, 1, 2, 3, -1}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("BFSDistances = %v, want %v", d, want)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	comp, n := g.ConnectedComponents()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[3] != comp[4] {
+		t.Fatalf("component assignment wrong: %v", comp)
+	}
+	if comp[0] == comp[2] || comp[5] == comp[0] || comp[5] == comp[2] {
+		t.Fatalf("distinct components merged: %v", comp)
+	}
+	giant := g.GiantComponentNodes()
+	if !reflect.DeepEqual(giant, []NodeID{2, 3, 4}) {
+		t.Fatalf("giant component = %v, want [2 3 4]", giant)
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	if g.IsConnected() {
+		t.Fatal("graph with isolated node reported connected")
+	}
+	g.AddEdge(1, 2)
+	if !g.IsConnected() {
+		t.Fatal("connected graph reported disconnected")
+	}
+	if !New(0).IsConnected() || !New(1).IsConnected() {
+		t.Fatal("trivial graphs should be connected")
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	sub, orig := g.Subgraph([]NodeID{1, 2, 3, 3})
+	if sub.NumNodes() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("subgraph = %v, want 3 nodes 2 edges", sub)
+	}
+	if !reflect.DeepEqual(orig, []NodeID{1, 2, 3}) {
+		t.Fatalf("orig mapping = %v", orig)
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) {
+		t.Fatal("subgraph missing expected edges")
+	}
+}
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# comment
+% another comment
+alice bob
+bob carol 42
+alice bob
+carol carol
+alice dave
+`
+	g, lab, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 {
+		t.Fatalf("nodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3 (dupes and self loops dropped)", g.NumEdges())
+	}
+	if lab.Name(0) != "alice" {
+		t.Fatalf("first label = %q, want alice", lab.Name(0))
+	}
+	a, b := lab.ToID["alice"], lab.ToID["bob"]
+	if !g.HasEdge(a, b) {
+		t.Fatal("alice-bob edge missing")
+	}
+}
+
+func TestReadEdgeListMalformed(t *testing.T) {
+	if _, _, err := ReadEdgeList(strings.NewReader("justone\n")); err == nil {
+		t.Fatal("expected error for single-field line")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	g2, lab, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reading relabels nodes in first-seen order, so compare structurally
+	// through the external labels.
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count mismatch: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		u, okU := lab.ToID[fmtNode(e.U)]
+		v, okV := lab.ToID[fmtNode(e.V)]
+		if !okU || !okV || !g2.HasEdge(u, v) {
+			t.Fatalf("edge %v missing after round trip", e)
+		}
+	}
+}
+
+func fmtNode(n NodeID) string {
+	return (&Labeling{}).Name(n)
+}
+
+// Property: ReadEdgeList never panics on arbitrary byte soup — it either
+// parses or returns an error.
+func TestPropertyReadEdgeListRobust(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		g, _, err := ReadEdgeList(bytes.NewReader(data))
+		if err == nil && g == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomGraph builds a reproducible random graph for property tests.
+func randomGraph(n int, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for g.NumEdges() < m {
+		u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Property: the handshake lemma Σ deg(v) = 2·|E| holds for arbitrary graphs.
+func TestPropertyHandshakeLemma(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(20, 40, seed)
+		sum := 0
+		for _, d := range g.Degrees() {
+			sum += d
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: removing then re-adding an edge restores the exact edge set.
+func TestPropertyRemoveRestore(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(15, 30, seed)
+		before := g.Edges()
+		rng := rand.New(rand.NewSource(seed))
+		e := before[rng.Intn(len(before))]
+		g.RemoveEdgeE(e)
+		if g.HasEdgeE(e) {
+			return false
+		}
+		g.AddEdgeE(e)
+		return reflect.DeepEqual(g.Edges(), before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BFS distances satisfy the triangle property along edges
+// (|d(u) − d(v)| ≤ 1 for every edge when both ends are reachable).
+func TestPropertyBFSEdgeConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(25, 40, seed)
+		d := g.BFSDistances(0)
+		ok := true
+		g.EachEdge(func(e Edge) bool {
+			du, dv := d[e.U], d[e.V]
+			if du >= 0 && dv >= 0 {
+				diff := du - dv
+				if diff < -1 || diff > 1 {
+					ok = false
+					return false
+				}
+			}
+			if (du >= 0) != (dv >= 0) {
+				ok = false // one endpoint reachable, the other not: impossible
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

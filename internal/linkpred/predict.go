@@ -1,0 +1,90 @@
+package linkpred
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// The adversary's forward tool: enumerate candidate missing links and rank
+// them. Candidate generation follows the standard 2-hop heuristic — for
+// every triangle-family index a pair without common neighbours scores 0,
+// so only pairs at distance 2 can rank at all. (For Katz the 2-hop set is
+// still where all the mass concentrates at small β.)
+
+// Prediction is one scored candidate link.
+type Prediction struct {
+	Pair  graph.Edge
+	Score float64
+}
+
+// CandidatePairs returns every non-adjacent node pair with at least one
+// common neighbour, in canonical order. This is the complete support of
+// all triangle-based indices.
+func CandidatePairs(g *graph.Graph) []graph.Edge {
+	seen := make(map[graph.Edge]bool)
+	n := g.NumNodes()
+	for w := 0; w < n; w++ {
+		nbrs := g.Neighbors(graph.NodeID(w))
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				u, v := nbrs[i], nbrs[j]
+				if g.HasEdge(u, v) {
+					continue
+				}
+				seen[graph.NewEdge(u, v)] = true
+			}
+		}
+	}
+	out := make([]graph.Edge, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	graph.SortEdges(out)
+	return out
+}
+
+// TopPredictions scores every candidate pair under the index and returns
+// the limit highest-scoring predictions (all of them when limit ≤ 0),
+// ordered by descending score with canonical pair order breaking ties —
+// the adversary's ranked guess list.
+func TopPredictions(g *graph.Graph, kind IndexKind, limit int) []Prediction {
+	cands := CandidatePairs(g)
+	preds := make([]Prediction, 0, len(cands))
+	for _, e := range cands {
+		if s := Score(g, kind, e.U, e.V); s > 0 {
+			preds = append(preds, Prediction{Pair: e, Score: s})
+		}
+	}
+	sort.Slice(preds, func(i, j int) bool {
+		if preds[i].Score != preds[j].Score {
+			return preds[i].Score > preds[j].Score
+		}
+		return preds[i].Pair.Less(preds[j].Pair)
+	})
+	if limit > 0 && len(preds) > limit {
+		preds = preds[:limit]
+	}
+	return preds
+}
+
+// PrecisionAtK returns the fraction of the adversary's top-k predictions
+// that are true hidden links — the standard link-prediction precision
+// metric, here measuring re-identification risk of a release.
+func PrecisionAtK(g *graph.Graph, kind IndexKind, hidden []graph.Edge, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	isHidden := make(map[graph.Edge]bool, len(hidden))
+	for _, e := range hidden {
+		isHidden[e] = true
+	}
+	top := TopPredictions(g, kind, k)
+	hits := 0
+	for _, p := range top {
+		if isHidden[p.Pair] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Community structure for the modularity metric (paper Table II, Mod).
+// Communities come from asynchronous label propagation — deterministic
+// given the rng seed — and Mod is Newman's modularity of that partition:
+//
+//	Q = Σ_c [ m_c/m − (d_c / 2m)² ]
+//
+// where m_c is the number of intra-community edges and d_c the total degree
+// of community c.
+
+const labelPropMaxRounds = 100
+
+// LabelPropagation partitions the nodes of g into communities and returns
+// a community ID per node (IDs are dense, 0-based, ordered by smallest
+// member node).
+func LabelPropagation(g *graph.Graph, rng *rand.Rand) []int {
+	n := g.NumNodes()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i
+	}
+	order := rng.Perm(n)
+	counts := make(map[int]int)
+	for round := 0; round < labelPropMaxRounds; round++ {
+		changed := false
+		for _, v := range order {
+			if g.Degree(graph.NodeID(v)) == 0 {
+				continue
+			}
+			for k := range counts {
+				delete(counts, k)
+			}
+			g.EachNeighbor(graph.NodeID(v), func(w graph.NodeID) bool {
+				counts[labels[w]]++
+				return true
+			})
+			// Most frequent neighbor label, smallest label on ties —
+			// deterministic given the visit order.
+			best, bestCount := labels[v], 0
+			keys := make([]int, 0, len(counts))
+			for k := range counts {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			for _, k := range keys {
+				if counts[k] > bestCount {
+					best, bestCount = k, counts[k]
+				}
+			}
+			if best != labels[v] {
+				labels[v] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Compact to dense IDs ordered by first appearance over node order.
+	remap := make(map[int]int)
+	out := make([]int, n)
+	for v := 0; v < n; v++ {
+		id, ok := remap[labels[v]]
+		if !ok {
+			id = len(remap)
+			remap[labels[v]] = id
+		}
+		out[v] = id
+	}
+	return out
+}
+
+// Modularity returns Newman's Q for the given node→community assignment.
+func Modularity(g *graph.Graph, community []int) float64 {
+	m := float64(g.NumEdges())
+	if m == 0 {
+		return 0
+	}
+	nc := 0
+	for _, c := range community {
+		if c+1 > nc {
+			nc = c + 1
+		}
+	}
+	intra := make([]float64, nc)
+	degSum := make([]float64, nc)
+	g.EachEdge(func(e graph.Edge) bool {
+		if community[e.U] == community[e.V] {
+			intra[community[e.U]]++
+		}
+		return true
+	})
+	for v := 0; v < g.NumNodes(); v++ {
+		degSum[community[v]] += float64(g.Degree(graph.NodeID(v)))
+	}
+	q := 0.0
+	for c := 0; c < nc; c++ {
+		q += intra[c]/m - (degSum[c]/(2*m))*(degSum[c]/(2*m))
+	}
+	return q
+}
+
+// CommunityModularity runs label propagation then scores the partition.
+func CommunityModularity(g *graph.Graph, rng *rand.Rand) float64 {
+	return Modularity(g, LabelPropagation(g, rng))
+}

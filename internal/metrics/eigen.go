@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Spectral utility metric µ (paper Table II): the second-largest eigenvalue
+// of the graph Laplacian L = D − A. Computed matrix-free: power iteration
+// over the implicit sparse Laplacian for the dominant pair, then Hotelling
+// deflation for the second. L is symmetric PSD so both eigenvalues are real
+// and the iteration is well behaved.
+
+const (
+	eigenIterations = 600
+	eigenTolerance  = 1e-12
+	// eigenShift σ makes the iteration operator L + σI strictly positive
+	// definite. Without it, eigendirections with eigenvalue 0 are
+	// annihilated exactly by the matvec and deflated power iteration
+	// converges to numerical contamination instead of the true second
+	// eigenvector (e.g. on a single edge, whose spectrum is {0, 2}).
+	eigenShift = 1.0
+)
+
+// laplacianMatVec writes (L + σI)·x into out.
+func laplacianMatVec(g *graph.Graph, x, out []float64) {
+	for i := range out {
+		v := graph.NodeID(i)
+		s := (float64(g.Degree(v)) + eigenShift) * x[i]
+		g.EachNeighbor(v, func(w graph.NodeID) bool {
+			s -= x[w]
+			return true
+		})
+		out[i] = s
+	}
+}
+
+func normalize(x []float64) float64 {
+	var n float64
+	for _, v := range x {
+		n += v * v
+	}
+	n = math.Sqrt(n)
+	if n == 0 {
+		return 0
+	}
+	for i := range x {
+		x[i] /= n
+	}
+	return n
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// powerIterate runs deflated power iteration: it finds the dominant
+// eigenpair of L restricted to the complement of span(deflate...).
+func powerIterate(g *graph.Graph, deflate [][]float64, rng *rand.Rand) (float64, []float64) {
+	n := g.NumNodes()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() - 0.5
+	}
+	orthogonalize(x, deflate)
+	normalize(x)
+	y := make([]float64, n)
+	lambda := 0.0
+	for it := 0; it < eigenIterations; it++ {
+		laplacianMatVec(g, x, y)
+		orthogonalize(y, deflate)
+		norm := normalize(y)
+		x, y = y, x
+		if math.Abs(norm-lambda) < eigenTolerance*math.Max(1, math.Abs(norm)) {
+			lambda = norm
+			break
+		}
+		lambda = norm
+	}
+	// Rayleigh quotient for the final estimate (more accurate than the
+	// iterate norm when convergence is slow); undo the shift to report an
+	// eigenvalue of L rather than L + σI.
+	laplacianMatVec(g, x, y)
+	lambda = dot(x, y) - eigenShift
+	return lambda, x
+}
+
+func orthogonalize(x []float64, basis [][]float64) {
+	for _, b := range basis {
+		c := dot(x, b)
+		for i := range x {
+			x[i] -= c * b[i]
+		}
+	}
+}
+
+// LaplacianTopEigenvalues returns the k largest eigenvalues of L in
+// descending order. Intended for small k (the metric needs k = 2).
+func LaplacianTopEigenvalues(g *graph.Graph, k int, rng *rand.Rand) []float64 {
+	out := make([]float64, 0, k)
+	var basis [][]float64
+	for i := 0; i < k; i++ {
+		lambda, vec := powerIterate(g, basis, rng)
+		out = append(out, lambda)
+		basis = append(basis, vec)
+	}
+	return out
+}
+
+// SecondLargestLaplacianEigenvalue returns µ. Deterministic given the rng
+// seed; the default experiments use a fixed seed so runs are reproducible.
+func SecondLargestLaplacianEigenvalue(g *graph.Graph, rng *rand.Rand) float64 {
+	if g.NumNodes() < 2 {
+		return 0
+	}
+	vals := LaplacianTopEigenvalues(g, 2, rng)
+	return vals[1]
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Utility-loss reporting (paper Sec. VI-C, Tables III–V).
+
+// MetricKind names one utility metric from Table II.
+type MetricKind string
+
+const (
+	MetricPathLength    MetricKind = "l"     // average path length
+	MetricClustering    MetricKind = "clust" // average clustering coefficient
+	MetricAssortativity MetricKind = "r"     // assortativity coefficient
+	MetricCoreNumber    MetricKind = "cn"    // average core number
+	MetricEigenvalue    MetricKind = "mu"    // second largest Laplacian eigenvalue
+	MetricModularity    MetricKind = "Mod"   // modularity of LP communities
+)
+
+// AllMetrics is the full Table II metric set (used on small graphs).
+var AllMetrics = []MetricKind{
+	MetricPathLength, MetricClustering, MetricAssortativity,
+	MetricCoreNumber, MetricEigenvalue, MetricModularity,
+}
+
+// LargeGraphMetrics is the subset the paper computes on DBLP (Table V):
+// clustering and core number only, because path length and the eigenvalue
+// "can't be efficiently computed on a general server".
+var LargeGraphMetrics = []MetricKind{MetricClustering, MetricCoreNumber}
+
+// Compute evaluates the chosen metrics on g. Stochastic metrics (µ, Mod)
+// use the supplied rng so runs are reproducible.
+func Compute(g *graph.Graph, kinds []MetricKind, rng *rand.Rand) map[MetricKind]float64 {
+	out := make(map[MetricKind]float64, len(kinds))
+	for _, k := range kinds {
+		switch k {
+		case MetricPathLength:
+			out[k] = AveragePathLength(g)
+		case MetricClustering:
+			out[k] = ClusteringCoefficient(g)
+		case MetricAssortativity:
+			out[k] = Assortativity(g)
+		case MetricCoreNumber:
+			out[k] = AverageCoreNumber(g)
+		case MetricEigenvalue:
+			out[k] = SecondLargestLaplacianEigenvalue(g, rng)
+		case MetricModularity:
+			out[k] = CommunityModularity(g, rng)
+		}
+	}
+	return out
+}
+
+// UtilityLossRatio returns ulr(z, G, G') = |z(G) − z(G')| / |z(G)| for one
+// metric value pair. When the original value is zero the ratio is defined
+// as 0 if the perturbed value is also zero and +Inf otherwise (surfaced so
+// callers notice degenerate baselines instead of dividing silently).
+func UtilityLossRatio(orig, perturbed float64) float64 {
+	if orig == 0 {
+		if perturbed == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(orig-perturbed) / math.Abs(orig)
+}
+
+// AverageUtilityLoss computes the per-metric loss ratios between the
+// original and released graphs and their mean — the quantity Tables III–V
+// report.
+func AverageUtilityLoss(origVals, relVals map[MetricKind]float64) (perMetric map[MetricKind]float64, mean float64) {
+	perMetric = make(map[MetricKind]float64, len(origVals))
+	keys := make([]string, 0, len(origVals))
+	for k := range origVals {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, ks := range keys {
+		k := MetricKind(ks)
+		r := UtilityLossRatio(origVals[k], relVals[k])
+		perMetric[k] = r
+		sum += r
+	}
+	if len(keys) == 0 {
+		return perMetric, 0
+	}
+	return perMetric, sum / float64(len(keys))
+}

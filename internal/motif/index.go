@@ -1,0 +1,235 @@
+package motif
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Index is the scalable similarity-maintenance structure behind the paper's
+// -R algorithm variants (Sec. V-D, Lemma 5).
+//
+// It enumerates every target subgraph once on the phase-1 graph, then
+// maintains, under protector deletions:
+//
+//   - per-target alive-instance counts (the similarities s(P, t)),
+//   - per-edge marginal gains (how many alive instances an edge breaks),
+//   - the restricted candidate set of Lemma 5 (edges with positive gain).
+//
+// Deleting edges can only destroy instances, never create them (this is the
+// monotonicity of f), so one up-front enumeration is complete.
+type Index struct {
+	pattern Pattern
+	targets []graph.Edge
+
+	inst      []indexedInstance
+	edgeInst  map[graph.Edge][]int32 // edge -> instance IDs containing it
+	gain      map[graph.Edge]int     // edge -> alive instances containing it
+	perTarget []int                  // s(P, t) per target
+	alive     int                    // Σ_t s(P, t)
+	deleted   map[graph.Edge]bool    // protector edges already deleted
+}
+
+type indexedInstance struct {
+	target int32
+	edges  [4]graph.Edge
+	ne     uint8
+	dead   bool
+}
+
+// NewIndex builds the index for the given pattern and targets. g must be
+// the phase-1 graph (targets already removed); NewIndex returns an error if
+// any target link is still present, because that violates the TPP model
+// (phase 1 precedes phase 2) and would make W_t sets overlap.
+func NewIndex(g *graph.Graph, pattern Pattern, targets []graph.Edge) (*Index, error) {
+	for _, t := range targets {
+		if g.HasEdgeE(t) {
+			return nil, fmt.Errorf("motif: target %v still present in graph; remove all targets (phase 1) before indexing", t)
+		}
+	}
+	ix := &Index{
+		pattern:   pattern,
+		targets:   append([]graph.Edge(nil), targets...),
+		edgeInst:  make(map[graph.Edge][]int32),
+		gain:      make(map[graph.Edge]int),
+		perTarget: make([]int, len(targets)),
+		deleted:   make(map[graph.Edge]bool),
+	}
+	for i, t := range targets {
+		ti := int32(i)
+		EnumerateTarget(g, pattern, t, func(edges []graph.Edge) {
+			id := int32(len(ix.inst))
+			var in indexedInstance
+			in.target = ti
+			in.ne = uint8(len(edges))
+			copy(in.edges[:], edges)
+			ix.inst = append(ix.inst, in)
+			for _, e := range edges {
+				ix.edgeInst[e] = append(ix.edgeInst[e], id)
+				ix.gain[e]++
+			}
+			ix.perTarget[i]++
+			ix.alive++
+		})
+	}
+	return ix, nil
+}
+
+// Pattern returns the motif pattern the index was built for.
+func (ix *Index) Pattern() Pattern { return ix.pattern }
+
+// Targets returns the target list (do not mutate).
+func (ix *Index) Targets() []graph.Edge { return ix.targets }
+
+// NumInstances returns the total number of enumerated target subgraphs
+// (alive or dead), i.e. s(∅, T).
+func (ix *Index) NumInstances() int { return len(ix.inst) }
+
+// TotalSimilarity returns Σ_t s(P, t) for the current deletion state.
+func (ix *Index) TotalSimilarity() int { return ix.alive }
+
+// Similarity returns s(P, t) for target index ti.
+func (ix *Index) Similarity(ti int) int { return ix.perTarget[ti] }
+
+// Similarities returns a copy of all per-target similarities.
+func (ix *Index) Similarities() []int {
+	return append([]int(nil), ix.perTarget...)
+}
+
+// Gain returns Δ_p: the number of alive instances the deletion of p would
+// break (its exact marginal dissimilarity gain — exact because f is
+// modular-per-instance once the instance set is fixed).
+func (ix *Index) Gain(p graph.Edge) int { return ix.gain[p] }
+
+// GainForTarget splits Δ_p^t for CT/WT greedy: within = alive instances of
+// target ti containing p; total = alive instances of any target containing
+// p. The paper's Δ_p^t = within + (total − within)/C; with C large this is
+// a lexicographic (within, total) ordering, which is how we compare.
+func (ix *Index) GainForTarget(p graph.Edge, ti int) (within, total int) {
+	for _, id := range ix.edgeInst[p] {
+		in := &ix.inst[id]
+		if in.dead {
+			continue
+		}
+		total++
+		if int(in.target) == ti {
+			within++
+		}
+	}
+	return within, total
+}
+
+// GainVector returns the per-target marginal gains of deleting p (alive
+// instances of each target containing p, indexed by target position) plus
+// the total. The slice is freshly allocated only when p touches at least
+// one alive instance; otherwise it returns (nil, 0).
+func (ix *Index) GainVector(p graph.Edge) (perTarget []int, total int) {
+	for _, id := range ix.edgeInst[p] {
+		in := &ix.inst[id]
+		if in.dead {
+			continue
+		}
+		if perTarget == nil {
+			perTarget = make([]int, len(ix.targets))
+		}
+		perTarget[in.target]++
+		total++
+	}
+	return perTarget, total
+}
+
+// Deleted reports whether p was already deleted through the index.
+func (ix *Index) Deleted(p graph.Edge) bool { return ix.deleted[p] }
+
+// DeleteEdge records the deletion of protector p, killing every alive
+// instance containing it and updating all affected per-edge gains. It
+// returns the number of instances broken (the realised Δf). Deleting an
+// edge twice is an error in the caller; the second call returns 0.
+func (ix *Index) DeleteEdge(p graph.Edge) int {
+	if ix.deleted[p] {
+		return 0
+	}
+	ix.deleted[p] = true
+	broken := 0
+	for _, id := range ix.edgeInst[p] {
+		in := &ix.inst[id]
+		if in.dead {
+			continue
+		}
+		in.dead = true
+		broken++
+		ix.perTarget[in.target]--
+		ix.alive--
+		for _, e := range in.edges[:in.ne] {
+			ix.gain[e]--
+		}
+	}
+	return broken
+}
+
+// CandidateEdges returns the Lemma 5 restricted protector set: every edge
+// that currently participates in at least one alive target subgraph, in
+// canonical order. Edges outside this set have zero marginal gain forever
+// (monotone decrease), so greedy never needs to inspect them.
+func (ix *Index) CandidateEdges() []graph.Edge {
+	out := make([]graph.Edge, 0, len(ix.gain))
+	for e, gn := range ix.gain {
+		if gn > 0 && !ix.deleted[e] {
+			out = append(out, e)
+		}
+	}
+	graph.SortEdges(out)
+	return out
+}
+
+// AllTouchedEdges returns every edge that participated in any instance at
+// build time (alive or not), in canonical order. This is the paper's W-edge
+// universe used by the RDT baseline.
+func (ix *Index) AllTouchedEdges() []graph.Edge {
+	out := make([]graph.Edge, 0, len(ix.edgeInst))
+	for e := range ix.edgeInst {
+		out = append(out, e)
+	}
+	graph.SortEdges(out)
+	return out
+}
+
+// InstancesOfTarget returns copies of the alive instances owned by target
+// ti, for inspection and tests.
+func (ix *Index) InstancesOfTarget(ti int) []Instance {
+	var out []Instance
+	for i := range ix.inst {
+		in := &ix.inst[i]
+		if in.dead || int(in.target) != ti {
+			continue
+		}
+		out = append(out, Instance{
+			Target: in.target,
+			Edges:  append([]graph.Edge(nil), in.edges[:in.ne]...),
+		})
+	}
+	return out
+}
+
+// ArgmaxGain returns the undeleted edge with the highest gain, breaking
+// ties by canonical edge order for determinism, plus its gain. ok is false
+// when every remaining gain is zero.
+func (ix *Index) ArgmaxGain() (best graph.Edge, bestGain int, ok bool) {
+	edges := make([]graph.Edge, 0, len(ix.gain))
+	for e, gn := range ix.gain {
+		if gn > 0 && !ix.deleted[e] {
+			edges = append(edges, e)
+		}
+	}
+	if len(edges) == 0 {
+		return graph.Edge{}, 0, false
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Less(edges[j]) })
+	for _, e := range edges {
+		if gn := ix.gain[e]; gn > bestGain {
+			best, bestGain = e, gn
+		}
+	}
+	return best, bestGain, true
+}

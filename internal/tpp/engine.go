@@ -1,0 +1,234 @@
+package tpp
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/motif"
+)
+
+// Engine selects how marginal gains Δ_p are evaluated.
+type Engine int
+
+const (
+	// EngineRecount re-enumerates target subgraphs from the graph for every
+	// candidate at every step — the paper's plain algorithms, whose running
+	// time Figs. 5–6 measure.
+	EngineRecount Engine = iota
+	// EngineIndexed uses the inverted edge→instance index (motif.Index) to
+	// answer gains in O(instances containing p). Selections are identical
+	// to EngineRecount; only the cost differs.
+	EngineIndexed
+	// EngineLazy is EngineIndexed plus CELF lazy evaluation: stale gains sit
+	// in a max-heap and are refreshed only when popped. Exact under
+	// submodularity; our extension beyond the paper.
+	EngineLazy
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineRecount:
+		return "recount"
+	case EngineIndexed:
+		return "indexed"
+	case EngineLazy:
+		return "lazy"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// Scope selects the candidate protector universe.
+type Scope int
+
+const (
+	// ScopeAllEdges scans every remaining edge of the graph — the paper's
+	// plain SGB/CT/WT-Greedy.
+	ScopeAllEdges Scope = iota
+	// ScopeTargetSubgraphs restricts candidates to edges participating in
+	// target subgraphs (Lemma 5) — the paper's -R variants.
+	ScopeTargetSubgraphs
+)
+
+// String names the scope.
+func (s Scope) String() string {
+	switch s {
+	case ScopeAllEdges:
+		return "all-edges"
+	case ScopeTargetSubgraphs:
+		return "restricted"
+	}
+	return fmt.Sprintf("Scope(%d)", int(s))
+}
+
+// Options configures a greedy run. The zero value is the paper's plain
+// algorithm (recount engine, all-edges scope).
+type Options struct {
+	Engine Engine
+	Scope  Scope
+}
+
+// VariantName renders the conventional paper name for an algorithm base
+// name under these options, e.g. "SGB-Greedy-R".
+func (o Options) VariantName(base string) string {
+	if o.Scope == ScopeTargetSubgraphs {
+		return base + "-R"
+	}
+	return base
+}
+
+// evaluator is the internal gain oracle shared by the greedy algorithms.
+// Both implementations agree exactly on every gain value; they differ only
+// in cost.
+type evaluator interface {
+	// totalSimilarity returns Σ_t s(P, t) in the current state.
+	totalSimilarity() int
+	// similarities returns the live per-target similarity slice (read-only).
+	similarities() []int
+	// gain returns Δ_p for the current state.
+	gain(p graph.Edge) int
+	// gainVector returns the per-target gains of p (nil when p breaks
+	// nothing) and the total — one evaluation serves every (t, p) pair, the
+	// key to the paper's O(knm log²N) bound for CT/WT-Greedy.
+	gainVector(p graph.Edge) (perTarget []int, total int)
+	// candidates returns the current candidate protector edges in canonical
+	// order, honouring the scope.
+	candidates() []graph.Edge
+	// delete commits the deletion of p, returning the realised gain.
+	delete(p graph.Edge) int
+}
+
+// newEvaluator builds the gain oracle for a problem under the options.
+// The returned evaluator owns its working graph/index.
+func newEvaluator(p *Problem, opt Options) (evaluator, error) {
+	switch opt.Engine {
+	case EngineRecount:
+		return newRecountEvaluator(p, opt.Scope), nil
+	case EngineIndexed, EngineLazy:
+		ix, err := motif.NewIndex(p.Phase1(), p.Pattern, p.Targets)
+		if err != nil {
+			return nil, err
+		}
+		return &indexedEvaluator{ix: ix}, nil
+	}
+	return nil, fmt.Errorf("tpp: unknown engine %v", opt.Engine)
+}
+
+// ---------------------------------------------------------------------------
+// Recount evaluator: the paper's naive cost model.
+
+type recountEvaluator struct {
+	g       *graph.Graph
+	pattern motif.Pattern
+	targets []graph.Edge
+	scope   Scope
+	per     []int
+	total   int
+}
+
+func newRecountEvaluator(p *Problem, scope Scope) *recountEvaluator {
+	g := p.Phase1()
+	total, per := motif.CountAll(g, p.Pattern, p.Targets)
+	return &recountEvaluator{
+		g:       g,
+		pattern: p.Pattern,
+		targets: p.Targets,
+		scope:   scope,
+		per:     per,
+		total:   total,
+	}
+}
+
+func (r *recountEvaluator) totalSimilarity() int { return r.total }
+
+func (r *recountEvaluator) similarities() []int { return r.per }
+
+func (r *recountEvaluator) gain(p graph.Edge) int {
+	if !r.g.HasEdgeE(p) {
+		return 0
+	}
+	r.g.RemoveEdgeE(p)
+	after, _ := motif.CountAll(r.g, r.pattern, r.targets)
+	r.g.AddEdgeE(p)
+	return r.total - after
+}
+
+func (r *recountEvaluator) gainVector(p graph.Edge) ([]int, int) {
+	if !r.g.HasEdgeE(p) {
+		return nil, 0
+	}
+	r.g.RemoveEdgeE(p)
+	afterTotal, afterPer := motif.CountAll(r.g, r.pattern, r.targets)
+	r.g.AddEdgeE(p)
+	total := r.total - afterTotal
+	if total == 0 {
+		return nil, 0
+	}
+	delta := make([]int, len(r.targets))
+	for i := range delta {
+		delta[i] = r.per[i] - afterPer[i]
+	}
+	return delta, total
+}
+
+func (r *recountEvaluator) candidates() []graph.Edge {
+	if r.scope == ScopeAllEdges {
+		return r.g.Edges()
+	}
+	// Lemma 5: only edges of currently existing target subgraphs can break
+	// target subgraphs. Re-enumerate on the current graph.
+	set := make(map[graph.Edge]struct{})
+	for _, t := range r.targets {
+		motif.EnumerateTarget(r.g, r.pattern, t, func(edges []graph.Edge) {
+			for _, e := range edges {
+				set[e] = struct{}{}
+			}
+		})
+	}
+	out := make([]graph.Edge, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	graph.SortEdges(out)
+	return out
+}
+
+func (r *recountEvaluator) delete(p graph.Edge) int {
+	if !r.g.RemoveEdgeE(p) {
+		return 0
+	}
+	after, afterPer := motif.CountAll(r.g, r.pattern, r.targets)
+	gain := r.total - after
+	r.total = after
+	r.per = afterPer
+	return gain
+}
+
+// ---------------------------------------------------------------------------
+// Indexed evaluator: exact same gains, answered from the inverted index.
+
+type indexedEvaluator struct {
+	ix *motif.Index
+}
+
+func (ie *indexedEvaluator) totalSimilarity() int { return ie.ix.TotalSimilarity() }
+
+func (ie *indexedEvaluator) similarities() []int { return ie.ix.Similarities() }
+
+func (ie *indexedEvaluator) gain(p graph.Edge) int {
+	if ie.ix.Deleted(p) {
+		return 0
+	}
+	return ie.ix.Gain(p)
+}
+
+func (ie *indexedEvaluator) gainVector(p graph.Edge) ([]int, int) {
+	if ie.ix.Deleted(p) {
+		return nil, 0
+	}
+	return ie.ix.GainVector(p)
+}
+
+func (ie *indexedEvaluator) candidates() []graph.Edge { return ie.ix.CandidateEdges() }
+
+func (ie *indexedEvaluator) delete(p graph.Edge) int { return ie.ix.DeleteEdge(p) }

@@ -1,0 +1,109 @@
+package tpp
+
+import (
+	"testing"
+
+	"repro/internal/motif"
+)
+
+func TestEngineAndScopeStrings(t *testing.T) {
+	if EngineRecount.String() != "recount" || EngineIndexed.String() != "indexed" || EngineLazy.String() != "lazy" {
+		t.Fatal("engine names wrong")
+	}
+	if Engine(42).String() != "Engine(42)" {
+		t.Fatal("unknown engine formatting wrong")
+	}
+	if ScopeAllEdges.String() != "all-edges" || ScopeTargetSubgraphs.String() != "restricted" {
+		t.Fatal("scope names wrong")
+	}
+	if Scope(7).String() != "Scope(7)" {
+		t.Fatal("unknown scope formatting wrong")
+	}
+}
+
+func TestVariantName(t *testing.T) {
+	if got := (Options{}).VariantName("SGB-Greedy"); got != "SGB-Greedy" {
+		t.Fatalf("plain variant = %q", got)
+	}
+	if got := (Options{Scope: ScopeTargetSubgraphs}).VariantName("CT-Greedy"); got != "CT-Greedy-R" {
+		t.Fatalf("restricted variant = %q", got)
+	}
+}
+
+func TestNewEvaluatorUnknownEngine(t *testing.T) {
+	p, _ := fig2Problem(t)
+	if _, err := newEvaluator(p, Options{Engine: Engine(99)}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestRecountEvaluatorGainOfAbsentEdge(t *testing.T) {
+	p, _ := fig2Problem(t)
+	ev := newRecountEvaluator(p, ScopeAllEdges)
+	// A pair that is not an edge has zero gain and zero gain vector.
+	absent := p.Targets[0] // targets are removed in phase 1
+	if ev.gain(absent) != 0 {
+		t.Fatal("absent edge reported positive gain")
+	}
+	if per, tot := ev.gainVector(absent); per != nil || tot != 0 {
+		t.Fatalf("absent edge gain vector = %v,%d", per, tot)
+	}
+	// delete of an absent edge is a no-op returning 0.
+	if ev.delete(absent) != 0 {
+		t.Fatal("deleting absent edge reported gain")
+	}
+}
+
+func TestRecountCandidatesShrinkAfterDeletion(t *testing.T) {
+	p, _ := fig2Problem(t)
+	ev := newRecountEvaluator(p, ScopeTargetSubgraphs)
+	cands := ev.candidates()
+	before := len(cands)
+	// Delete the highest-gain protector: several instances die, so the
+	// restricted candidate set re-enumerated from the graph shrinks.
+	best := cands[0]
+	bestGain := 0
+	for _, c := range cands {
+		if g := ev.gain(c); g > bestGain {
+			best, bestGain = c, g
+		}
+	}
+	ev.delete(best)
+	after := len(ev.candidates())
+	if after >= before {
+		t.Fatalf("restricted candidates did not shrink: %d -> %d", before, after)
+	}
+}
+
+func TestIndexedEvaluatorDeletedEdgeGains(t *testing.T) {
+	p, _ := fig2Problem(t)
+	ev, err := newEvaluator(p, Options{Engine: EngineIndexed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := ev.candidates()
+	first := cands[0]
+	ev.delete(first)
+	if ev.gain(first) != 0 {
+		t.Fatal("deleted edge still has gain")
+	}
+	if per, tot := ev.gainVector(first); per != nil || tot != 0 {
+		t.Fatalf("deleted edge gain vector = %v,%d", per, tot)
+	}
+}
+
+func TestPatternAgnosticProblem(t *testing.T) {
+	// The same problem solved under every pattern including Pentagon: all
+	// runs terminate with zero similarity at the critical budget.
+	p, _ := fig2Problem(t)
+	for _, pattern := range motif.AllPatterns {
+		q := &Problem{G: p.G, Pattern: pattern, Targets: p.Targets}
+		_, res, err := CriticalBudget(q, Options{Engine: EngineLazy})
+		if err != nil {
+			t.Fatalf("%v: %v", pattern, err)
+		}
+		if !res.FullProtection() {
+			t.Fatalf("%v: not fully protected", pattern)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package tpp implements the Target Privacy Preserving model of
+// Jiang et al., "Target Privacy Preserving for Social Networks"
+// (ICDE 2020): protecting a small set of sensitive target links by
+// deleting a budget-limited set of non-target protector links so that
+// motif-based link prediction can no longer infer the targets.
+//
+// The package provides the paper's three greedy protector-selection
+// algorithms (SGB-Greedy, CT-Greedy, WT-Greedy), their scalable -R
+// variants (Lemma 5 candidate restriction), the TBD and DBD budget
+// division strategies, the RD/RDT baselines, a CELF-style lazy-greedy
+// extension, and a brute-force optimum for verifying approximation
+// bounds on small instances.
+package tpp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/motif"
+)
+
+// Problem is one TPP instance: a social graph, a motif pattern defining
+// what counts as a target subgraph, and the sensitive target links.
+type Problem struct {
+	// G is the original graph, including target links. It is never mutated
+	// by this package.
+	G *graph.Graph
+	// Pattern is the motif that adversarial link prediction exploits.
+	Pattern motif.Pattern
+	// Targets is the target link set T ⊆ E. The order is the caller's and
+	// is preserved: WT-Greedy satisfies targets in this order, so it
+	// encodes protection priority (paper Sec. V-C, "the first target").
+	Targets []graph.Edge
+}
+
+// NewProblem validates and constructs a Problem. Every target must be an
+// existing, distinct edge of g. Target order is preserved.
+func NewProblem(g *graph.Graph, pattern motif.Pattern, targets []graph.Edge) (*Problem, error) {
+	if g == nil {
+		return nil, fmt.Errorf("tpp: nil graph")
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("tpp: empty target set")
+	}
+	seen := make(map[graph.Edge]bool, len(targets))
+	ts := make([]graph.Edge, 0, len(targets))
+	for _, t := range targets {
+		if !t.Canonical() {
+			t = graph.NewEdge(t.U, t.V)
+		}
+		if !g.HasEdgeE(t) {
+			return nil, fmt.Errorf("tpp: target %v is not an edge of the graph", t)
+		}
+		if seen[t] {
+			return nil, fmt.Errorf("tpp: duplicate target %v", t)
+		}
+		seen[t] = true
+		ts = append(ts, t)
+	}
+	return &Problem{G: g, Pattern: pattern, Targets: ts}, nil
+}
+
+// Phase1 returns a fresh copy of the graph with every target link removed —
+// the graph on which phase-2 protector selection operates.
+func (p *Problem) Phase1() *graph.Graph {
+	g := p.G.Clone()
+	for _, t := range p.Targets {
+		g.RemoveEdgeE(t)
+	}
+	return g
+}
+
+// ProtectedGraph returns the released graph: phase-1 graph minus the given
+// protectors. This is what utility metrics and attack evaluation run on.
+func (p *Problem) ProtectedGraph(protectors []graph.Edge) *graph.Graph {
+	g := p.Phase1()
+	g.RemoveEdges(protectors)
+	return g
+}
+
+// InitialSimilarity returns s(∅, T): the total number of target subgraphs
+// before any protector deletion. It doubles as the dissimilarity constant C
+// (the paper requires C ≥ s(∅, T); choosing equality makes f(∅, T) = 0 and
+// f(P, T) = number of broken target subgraphs).
+func (p *Problem) InitialSimilarity() int {
+	g := p.Phase1()
+	total, _ := motif.CountAll(g, p.Pattern, p.Targets)
+	return total
+}
+
+// TargetIndex returns the position of t in the canonical target ordering,
+// or -1.
+func (p *Problem) TargetIndex(t graph.Edge) int {
+	for i, x := range p.Targets {
+		if x == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// Result records the outcome of one protector-selection run.
+type Result struct {
+	// Method names the algorithm variant, e.g. "SGB-Greedy-R" or
+	// "CT-Greedy:TBD".
+	Method string
+	// Protectors lists the deleted protector links in selection order.
+	Protectors []graph.Edge
+	// SimilarityTrace[i] is the total similarity s(P_i, T) after deleting
+	// the first i protectors; SimilarityTrace[0] = s(∅, T). Its length is
+	// len(Protectors)+1.
+	SimilarityTrace []int
+	// PerTargetFinal holds s(P, t) for every target after all deletions.
+	PerTargetFinal []int
+	// Elapsed is the total wall-clock selection time (the quantity
+	// Figs. 5–6 report).
+	Elapsed time.Duration
+	// StepElapsed[i] is the cumulative wall-clock time when the i-th
+	// protector was committed, so one run yields the whole running-time-
+	// versus-budget curve.
+	StepElapsed []time.Duration
+}
+
+// FinalSimilarity returns s(P, T) after all deletions.
+func (r *Result) FinalSimilarity() int {
+	return r.SimilarityTrace[len(r.SimilarityTrace)-1]
+}
+
+// Dissimilarity returns f(P, T) with C = s(∅, T): the number of target
+// subgraphs broken by the selected protectors.
+func (r *Result) Dissimilarity() int {
+	return r.SimilarityTrace[0] - r.FinalSimilarity()
+}
+
+// FullProtection reports whether every target subgraph was broken
+// (s(P, T) = 0), the paper's "full protection" condition.
+func (r *Result) FullProtection() bool { return r.FinalSimilarity() == 0 }
+
+// SimilarityAt returns s(P_k, T) after the first k deletions, clamping k to
+// the number of protectors actually selected (greedy may stop early once
+// all gains are zero).
+func (r *Result) SimilarityAt(k int) int {
+	if k >= len(r.SimilarityTrace) {
+		k = len(r.SimilarityTrace) - 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	return r.SimilarityTrace[k]
+}
+
+func newResult(method string, initial int) *Result {
+	return &Result{Method: method, SimilarityTrace: []int{initial}}
+}
+
+func (r *Result) record(p graph.Edge, similarity int, elapsed time.Duration) {
+	r.Protectors = append(r.Protectors, p)
+	r.SimilarityTrace = append(r.SimilarityTrace, similarity)
+	r.StepElapsed = append(r.StepElapsed, elapsed)
+}
+
+// ElapsedAt returns the cumulative selection time for the first k
+// protectors, clamped like SimilarityAt.
+func (r *Result) ElapsedAt(k int) time.Duration {
+	if len(r.StepElapsed) == 0 || k <= 0 {
+		return 0
+	}
+	if k > len(r.StepElapsed) {
+		k = len(r.StepElapsed)
+	}
+	return r.StepElapsed[k-1]
+}

@@ -1,0 +1,114 @@
+package tpp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/motif"
+)
+
+// Protect is the one-call convenience API: given a graph, the sensitive
+// targets, a motif threat model and a budget policy, it runs the full TPP
+// pipeline and returns the released graph together with the selection
+// report. It is what cmd/tpp and most adopters want; the lower-level
+// Problem/greedy API remains available for fine control.
+
+// Method names a protector-selection algorithm for Protect.
+type Method string
+
+const (
+	// MethodSGB is SGB-Greedy: single global budget, (1−1/e) guarantee.
+	MethodSGB Method = "sgb"
+	// MethodCT is CT-Greedy with a budget division, 1/2 guarantee.
+	MethodCT Method = "ct"
+	// MethodWT is WT-Greedy with a budget division, ≈0.46 guarantee.
+	MethodWT Method = "wt"
+	// MethodRD / MethodRDT are the random baselines.
+	MethodRD  Method = "rd"
+	MethodRDT Method = "rdt"
+)
+
+// Division names a budget division strategy for MethodCT / MethodWT.
+type Division string
+
+const (
+	DivisionTBD Division = "tbd"
+	DivisionDBD Division = "dbd"
+)
+
+// ProtectConfig parameterises Protect. The zero value means: SGB-Greedy,
+// Triangle motif, critical budget (full protection), fastest engine.
+type ProtectConfig struct {
+	Pattern  motif.Pattern
+	Method   Method // default MethodSGB
+	Division Division
+	// Budget limits protector deletions; 0 selects the critical budget k*
+	// (smallest budget achieving full protection).
+	Budget int
+	// Seed drives the random baselines (ignored by greedy methods).
+	Seed int64
+}
+
+// Protect runs phases 1 and 2 and returns the released graph and the
+// selection result. The input graph is never mutated.
+func Protect(g *graph.Graph, targets []graph.Edge, cfg ProtectConfig) (*graph.Graph, *Result, error) {
+	if cfg.Method == "" {
+		cfg.Method = MethodSGB
+	}
+	if cfg.Division == "" {
+		cfg.Division = DivisionTBD
+	}
+	problem, err := NewProblem(g, cfg.Pattern, targets)
+	if err != nil {
+		return nil, nil, err
+	}
+	fast := Options{Engine: EngineLazy, Scope: ScopeTargetSubgraphs}
+
+	budget := cfg.Budget
+	if budget <= 0 {
+		kstar, res, err := CriticalBudget(problem, fast)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cfg.Method == MethodSGB {
+			// The critical-budget run already is the SGB answer.
+			return problem.ProtectedGraph(res.Protectors), res, nil
+		}
+		budget = kstar
+	}
+
+	var res *Result
+	switch cfg.Method {
+	case MethodSGB:
+		res, err = SGBGreedy(problem, budget, fast)
+	case MethodCT, MethodWT:
+		var budgets []int
+		switch cfg.Division {
+		case DivisionTBD:
+			budgets, err = TBDForProblem(problem, budget)
+		case DivisionDBD:
+			budgets, err = DBDForProblem(problem, budget)
+		default:
+			return nil, nil, fmt.Errorf("tpp: unknown budget division %q", cfg.Division)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if cfg.Method == MethodCT {
+			res, err = CTGreedy(problem, budgets, Options{Engine: EngineIndexed})
+		} else {
+			res, err = WTGreedy(problem, budgets, Options{Engine: EngineIndexed})
+		}
+	case MethodRD:
+		res, err = RandomDeletion(problem, budget, rand.New(rand.NewSource(cfg.Seed)))
+	case MethodRDT:
+		res, err = RandomDeletionFromTargets(problem, budget, rand.New(rand.NewSource(cfg.Seed)))
+	default:
+		return nil, nil, fmt.Errorf("tpp: unknown method %q", cfg.Method)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return problem.ProtectedGraph(res.Protectors), res, nil
+}

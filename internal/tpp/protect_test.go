@@ -1,0 +1,116 @@
+package tpp
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/motif"
+)
+
+func TestProtectDefaultsToFullProtection(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := gen.BarabasiAlbertTriad(80, 3, 0.5, rng)
+	targets := datasets.SampleTargets(g, 4, rng)
+	released, res, err := Protect(g, targets, ProtectConfig{Pattern: motif.Triangle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FullProtection() {
+		t.Fatal("default Protect should reach full protection")
+	}
+	for _, tg := range targets {
+		if released.HasEdgeE(tg) {
+			t.Fatalf("target %v in release", tg)
+		}
+		if motif.Count(released, motif.Triangle, tg) != 0 {
+			t.Fatalf("target %v still completable", tg)
+		}
+	}
+	// Original untouched.
+	for _, tg := range targets {
+		if !g.HasEdgeE(tg) {
+			t.Fatal("Protect mutated the input graph")
+		}
+	}
+}
+
+func TestProtectAllMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := gen.BarabasiAlbertTriad(60, 3, 0.5, rng)
+	targets := datasets.SampleTargets(g, 3, rng)
+	for _, m := range []Method{MethodSGB, MethodCT, MethodWT, MethodRD, MethodRDT} {
+		for _, d := range []Division{DivisionTBD, DivisionDBD} {
+			released, res, err := Protect(g, targets, ProtectConfig{
+				Pattern: motif.Rectangle, Method: m, Division: d, Budget: 5, Seed: 7,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m, d, err)
+			}
+			if released == nil || res == nil {
+				t.Fatalf("%s/%s: nil outputs", m, d)
+			}
+			if len(res.Protectors) > 5 {
+				t.Fatalf("%s/%s: budget exceeded: %d", m, d, len(res.Protectors))
+			}
+		}
+	}
+}
+
+func TestProtectErrors(t *testing.T) {
+	g := gen.Complete(4)
+	targets := []graph.Edge{graph.NewEdge(0, 1)}
+	if _, _, err := Protect(g, targets, ProtectConfig{Method: "bogus"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if _, _, err := Protect(g, targets, ProtectConfig{Method: MethodCT, Division: "bogus", Budget: 2}); err == nil {
+		t.Fatal("unknown division accepted")
+	}
+	if _, _, err := Protect(g, nil, ProtectConfig{}); err == nil {
+		t.Fatal("empty targets accepted")
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	p, _ := fig2Problem(t)
+	res, err := SGBGreedy(p, 2, Options{Engine: EngineLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Method != res.Method {
+		t.Fatalf("method %q != %q", back.Method, res.Method)
+	}
+	if !reflect.DeepEqual(back.Protectors, res.Protectors) {
+		t.Fatalf("protectors differ: %v vs %v", back.Protectors, res.Protectors)
+	}
+	if !reflect.DeepEqual(back.SimilarityTrace, res.SimilarityTrace) {
+		t.Fatal("traces differ")
+	}
+	if back.Elapsed != res.Elapsed || len(back.StepElapsed) != len(res.StepElapsed) {
+		t.Fatal("timings differ")
+	}
+}
+
+func TestResultJSONRejectsCorrupt(t *testing.T) {
+	for _, in := range []string{
+		`{`, // malformed
+		`{"method":"x","protectors":[[1,1]],"similarity_trace":[2,1]}`,   // self loop
+		`{"method":"x","protectors":[[0,1]],"similarity_trace":[3,2,1]}`, // trace mismatch
+	} {
+		if _, err := ReadResultJSON(bytes.NewReader([]byte(in))); err == nil {
+			t.Fatalf("corrupt input accepted: %s", in)
+		}
+	}
+}

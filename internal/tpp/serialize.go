@@ -1,0 +1,87 @@
+package tpp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// JSON serialization of selection results, for audit trails and pipeline
+// integration: a release should ship with a machine-readable record of
+// what was deleted and why.
+
+// resultJSON is the stable wire form of a Result. Durations are
+// nanoseconds; edges are [u, v] pairs.
+type resultJSON struct {
+	Method          string     `json:"method"`
+	Protectors      [][2]int32 `json:"protectors"`
+	SimilarityTrace []int      `json:"similarity_trace"`
+	PerTargetFinal  []int      `json:"per_target_final,omitempty"`
+	ElapsedNS       int64      `json:"elapsed_ns"`
+	StepElapsedNS   []int64    `json:"step_elapsed_ns,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with a stable schema.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	out := resultJSON{
+		Method:          r.Method,
+		Protectors:      make([][2]int32, len(r.Protectors)),
+		SimilarityTrace: r.SimilarityTrace,
+		PerTargetFinal:  r.PerTargetFinal,
+		ElapsedNS:       r.Elapsed.Nanoseconds(),
+	}
+	for i, e := range r.Protectors {
+		out.Protectors[i] = [2]int32{e.U, e.V}
+	}
+	for _, d := range r.StepElapsed {
+		out.StepElapsedNS = append(out.StepElapsedNS, d.Nanoseconds())
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var in resultJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("tpp: decoding result: %w", err)
+	}
+	if len(in.SimilarityTrace) != len(in.Protectors)+1 {
+		return fmt.Errorf("tpp: decoding result: trace length %d does not match %d protectors",
+			len(in.SimilarityTrace), len(in.Protectors))
+	}
+	r.Method = in.Method
+	r.Protectors = r.Protectors[:0]
+	for _, p := range in.Protectors {
+		if p[0] == p[1] {
+			return fmt.Errorf("tpp: decoding result: self loop %v", p)
+		}
+		r.Protectors = append(r.Protectors, graph.NewEdge(p[0], p[1]))
+	}
+	r.SimilarityTrace = in.SimilarityTrace
+	r.PerTargetFinal = in.PerTargetFinal
+	r.Elapsed = time.Duration(in.ElapsedNS)
+	r.StepElapsed = r.StepElapsed[:0]
+	for _, ns := range in.StepElapsedNS {
+		r.StepElapsed = append(r.StepElapsed, time.Duration(ns))
+	}
+	return nil
+}
+
+// WriteJSON streams the result to w.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadResultJSON decodes a result previously written with WriteJSON.
+func ReadResultJSON(rd io.Reader) (*Result, error) {
+	var res Result
+	if err := json.NewDecoder(rd).Decode(&res); err != nil {
+		return nil, fmt.Errorf("tpp: reading result: %w", err)
+	}
+	return &res, nil
+}
