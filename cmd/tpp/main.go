@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -50,6 +51,7 @@ func run(args []string, errw io.Writer) error {
 		k           = fs.Int("k", 0, "deletion budget (0 = critical budget k*)")
 		seed        = fs.Int64("seed", 1, "random seed for rd/rdt baselines")
 		report      = fs.Bool("report", true, "print a defense report against all link-prediction indices")
+		timeout     = fs.Duration("timeout", 0, "abort selection after this long (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,12 +101,32 @@ func run(args []string, errw io.Writer) error {
 			return err
 		}
 	}
-	problem, err := tpp.NewProblem(g, pat, targetEdges)
+	m, err := tpp.ParseMethod(*method)
+	if err != nil {
+		return err
+	}
+	d, err := tpp.ParseDivision(*division)
+	if err != nil {
+		return err
+	}
+	session, err := tpp.New(g, targetEdges,
+		tpp.WithPattern(pat),
+		tpp.WithMethod(m),
+		tpp.WithDivision(d),
+		tpp.WithBudget(*k),
+		tpp.WithSeed(*seed),
+	)
 	if err != nil {
 		return err
 	}
 
-	res, err := selectProtectors(problem, *method, *division, *k, *seed)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := session.Run(ctx)
 	if err != nil {
 		return err
 	}
@@ -117,7 +139,7 @@ func run(args []string, errw io.Writer) error {
 		fmt.Fprintf(errw, "WARNING: %d target subgraphs survive; raise -k for full protection\n", res.FinalSimilarity())
 	}
 
-	released := problem.ProtectedGraph(res.Protectors)
+	released := session.Release(res)
 	if *report {
 		rng := rand.New(rand.NewSource(*seed))
 		fmt.Fprintln(errw, "adversarial link-prediction report (released graph):")
@@ -163,57 +185,4 @@ func parseTargets(spec string, lab *graph.Labeling) ([]graph.Edge, error) {
 		return nil, fmt.Errorf("no targets parsed from %q", spec)
 	}
 	return out, nil
-}
-
-func selectProtectors(problem *tpp.Problem, method, division string, k int, seed int64) (*tpp.Result, error) {
-	opt := tpp.Options{Engine: tpp.EngineLazy, Scope: tpp.ScopeTargetSubgraphs}
-	budget := func() (int, error) {
-		if k > 0 {
-			return k, nil
-		}
-		kstar, _, err := tpp.CriticalBudget(problem, opt)
-		return kstar, err
-	}
-	switch method {
-	case "sgb":
-		kk, err := budget()
-		if err != nil {
-			return nil, err
-		}
-		return tpp.SGBGreedy(problem, kk, opt)
-	case "ct", "wt":
-		kk, err := budget()
-		if err != nil {
-			return nil, err
-		}
-		var budgets []int
-		switch division {
-		case "tbd":
-			budgets, err = tpp.TBDForProblem(problem, kk)
-		case "dbd":
-			budgets, err = tpp.DBDForProblem(problem, kk)
-		default:
-			return nil, fmt.Errorf("unknown division %q (want tbd or dbd)", division)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if method == "ct" {
-			return tpp.CTGreedy(problem, budgets, tpp.Options{Engine: tpp.EngineIndexed})
-		}
-		return tpp.WTGreedy(problem, budgets, tpp.Options{Engine: tpp.EngineIndexed})
-	case "rd":
-		kk, err := budget()
-		if err != nil {
-			return nil, err
-		}
-		return tpp.RandomDeletion(problem, kk, rand.New(rand.NewSource(seed)))
-	case "rdt":
-		kk, err := budget()
-		if err != nil {
-			return nil, err
-		}
-		return tpp.RandomDeletionFromTargets(problem, kk, rand.New(rand.NewSource(seed)))
-	}
-	return nil, fmt.Errorf("unknown method %q (want sgb, ct, wt, rd or rdt)", method)
 }

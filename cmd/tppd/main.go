@@ -1,0 +1,83 @@
+// Command tppd serves TPP protection requests over HTTP — the network
+// front end of the target-privacy pipeline. Clients POST a graph (inline
+// edge list or a named server-side dataset), the sensitive target links
+// and the protection options; the service runs phase-1 target removal and
+// phase-2 greedy protector selection under a per-request deadline and
+// returns the released edge list with a full selection report.
+//
+// Endpoints:
+//
+//	POST /v1/protect   run a protection request (JSON in, JSON out)
+//	GET  /v1/datasets  list the server-side datasets
+//	GET  /healthz      liveness probe
+//
+// Example:
+//
+//	tppd -addr :8080 &
+//	curl -s localhost:8080/v1/protect -d '{
+//	  "edges": [["a","b"],["a","c"],["c","b"],["a","d"],["d","b"]],
+//	  "targets": [["a","b"]],
+//	  "pattern": "Triangle",
+//	  "method": "sgb"
+//	}'
+//
+// Requests are served concurrently; -max-concurrent bounds how many
+// selections run at once and -request-timeout caps each request's
+// selection time (clients may ask for less via "timeout_ms").
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		maxConcurrent = flag.Int("max-concurrent", runtime.GOMAXPROCS(0), "max selections running at once")
+		maxBody       = flag.Int64("max-body", 32<<20, "max request body bytes")
+		reqTimeout    = flag.Duration("request-timeout", time.Minute, "per-request selection time cap")
+		maxScale      = flag.Int("max-dataset-scale", defaultMaxScale, "max node count for server-side dataset graphs")
+	)
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           NewServer(*maxConcurrent, *maxBody, *reqTimeout, *maxScale).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("tppd: listening on %s (max-concurrent %d, request-timeout %s)",
+		*addr, *maxConcurrent, *reqTimeout)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
+		// The listener died on its own (e.g. the address was taken).
+		log.Fatalf("tppd: %v", err)
+	case <-ctx.Done():
+		// Graceful drain: stop accepting, wait for in-flight selections
+		// (bounded), and only then let main return.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("tppd: shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("tppd: %v", err)
+		}
+	}
+	log.Printf("tppd: stopped")
+}

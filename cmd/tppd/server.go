@@ -1,0 +1,410 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/motif"
+	"repro/internal/tpp"
+)
+
+// Server is the TPP protection service: a stateless JSON front end over the
+// tpp.Protector session API. Each request carries its own graph (inline
+// edge list or a named server-side dataset), targets and protection
+// options; requests are served concurrently, bounded by a semaphore so a
+// burst of heavy selections degrades into queueing instead of thrashing.
+type Server struct {
+	maxBody    int64
+	maxTimeout time.Duration // server-side cap on per-request selection time
+	maxScale   int           // cap on dataset graph size a client may request
+	sem        chan struct{} // bounds concurrent selection runs
+}
+
+// defaultMaxScale admits the paper's full-size DBLP stand-in (317080
+// nodes) with headroom while keeping a single cheap request from
+// allocating an arbitrarily large graph.
+const defaultMaxScale = 1 << 20
+
+// NewServer configures a service instance. maxConcurrent bounds how many
+// selections run at once (<=0 means 1); maxBody bounds the request body in
+// bytes; maxTimeout caps the per-request deadline a client may ask for;
+// maxScale caps the node count of server-side dataset graphs (<=0 selects
+// defaultMaxScale).
+func NewServer(maxConcurrent int, maxBody int64, maxTimeout time.Duration, maxScale int) *Server {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 1
+	}
+	if maxScale <= 0 {
+		maxScale = defaultMaxScale
+	}
+	return &Server{
+		maxBody:    maxBody,
+		maxTimeout: maxTimeout,
+		maxScale:   maxScale,
+		sem:        make(chan struct{}, maxConcurrent),
+	}
+}
+
+// Handler returns the service's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/protect", s.handleProtect)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// protectRequest is the wire form of one protection request. Exactly one
+// graph source must be set: Edges (inline edge list over arbitrary string
+// node labels) or Dataset (a server-side synthetic dataset). Targets name
+// existing edges of that graph; alternatively SampleTargets asks the server
+// to draw that many random target links (seeded, for benchmarking).
+type protectRequest struct {
+	Edges   [][2]string  `json:"edges,omitempty"`
+	Dataset *datasetSpec `json:"dataset,omitempty"`
+
+	Targets       [][2]string `json:"targets,omitempty"`
+	SampleTargets int         `json:"sample_targets,omitempty"`
+
+	Pattern  string `json:"pattern,omitempty"`  // Triangle (default), Rectangle, RecTri, Pentagon
+	Method   string `json:"method,omitempty"`   // sgb (default), ct, wt, rd, rdt
+	Division string `json:"division,omitempty"` // tbd (default), dbd
+	Budget   int    `json:"budget,omitempty"`   // 0 = critical budget k*
+	Seed     int64  `json:"seed,omitempty"`     // rd/rdt randomness and target sampling
+
+	// TimeoutMS bounds this request's selection time; 0 uses the server
+	// cap. Values above the cap are clamped to it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// OmitReleased skips echoing the released edge list (it is as large as
+	// the input graph) when the caller only wants the selection report.
+	OmitReleased bool `json:"omit_released,omitempty"`
+}
+
+type datasetSpec struct {
+	Name  string `json:"name"`
+	Scale int    `json:"scale,omitempty"` // dblp-sim only; default 2000
+	Seed  int64  `json:"seed,omitempty"`  // generator seed; default 1
+}
+
+// protectResponse is the selection report plus the released edge list.
+type protectResponse struct {
+	Method            string      `json:"method"`
+	Nodes             int         `json:"nodes"`
+	Edges             int         `json:"edges"`
+	Targets           [][2]string `json:"targets"`
+	Budget            int         `json:"budget"` // as requested; 0 meant critical
+	Protectors        [][2]string `json:"protectors"`
+	InitialSimilarity int         `json:"initial_similarity"`
+	FinalSimilarity   int         `json:"final_similarity"`
+	FullProtection    bool        `json:"full_protection"`
+	SimilarityTrace   []int       `json:"similarity_trace"`
+	ElapsedMS         float64     `json:"elapsed_ms"`
+	ReleasedEdges     [][2]string `json:"released_edges,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleProtect(w http.ResponseWriter, r *http.Request) {
+	var req protectRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decoding request: " + err.Error()})
+		return
+	}
+
+	// Cheap validation first, so malformed options fail fast with 400
+	// before the request costs the server anything.
+	pattern := motif.Triangle
+	var err error
+	if req.Pattern != "" {
+		if pattern, err = motif.ParsePattern(req.Pattern); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+	}
+	method, err := tpp.ParseMethod(req.Method)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	division, err := tpp.ParseDivision(req.Division)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if req.Dataset != nil && req.Dataset.Scale > s.maxScale {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("dataset scale %d exceeds server limit %d", req.Dataset.Scale, s.maxScale)})
+		return
+	}
+
+	// The deadline covers the whole request — materialising a large dataset
+	// graph can dominate the selection itself.
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+
+	// Bound the heavy work — graph materialisation, selection and released-
+	// graph assembly — by the concurrency semaphore; waiting respects the
+	// deadline. The slot is handed back before the response streams to the
+	// client, so a slow reader cannot pin a worker the CPU is done with.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		writeRunError(w, ctx.Err())
+		return
+	}
+	held := true
+	releaseSem := func() {
+		if held {
+			<-s.sem
+			held = false
+		}
+	}
+	defer releaseSem()
+
+	g, lab, err := req.buildGraph()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		writeRunError(w, err)
+		return
+	}
+	targets, err := req.resolveTargets(g, lab)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	// tpp.New validates the remaining options and the target set; every
+	// failure here is the client's data, not server state.
+	session, err := tpp.New(g, targets,
+		tpp.WithPattern(pattern),
+		tpp.WithMethod(method),
+		tpp.WithDivision(division),
+		tpp.WithBudget(req.Budget),
+		tpp.WithSeed(req.Seed),
+	)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	res, err := session.Run(ctx)
+	if err != nil {
+		writeRunError(w, err)
+		return
+	}
+
+	resp := protectResponse{
+		Method:            res.Method,
+		Nodes:             g.NumNodes(),
+		Edges:             g.NumEdges(),
+		Targets:           edgePairs(targets, lab),
+		Budget:            req.Budget,
+		Protectors:        edgePairs(res.Protectors, lab),
+		InitialSimilarity: res.SimilarityTrace[0],
+		FinalSimilarity:   res.FinalSimilarity(),
+		FullProtection:    res.FullProtection(),
+		SimilarityTrace:   res.SimilarityTrace,
+		ElapsedMS:         float64(res.Elapsed.Microseconds()) / 1000,
+	}
+	if !req.OmitReleased {
+		resp.ReleasedEdges = edgePairs(session.Release(res).Edges(), lab)
+	}
+	releaseSem() // all CPU-bound work done; don't hold the slot for the network write
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"datasets": []map[string]string{
+			{"name": "arenas-email", "description": "Arenas-email stand-in: 1133 nodes, ~5451 edges"},
+			{"name": "dblp", "description": "DBLP co-authorship stand-in; set scale for node count (default 2000)"},
+		},
+	})
+}
+
+// requestContext derives the per-request deadline: the client's timeout_ms
+// clamped to the server cap, or the cap itself when the client set none.
+// A positive client timeout always bounds the run, even when the server
+// cap is disabled; no deadline applies only when both are unset.
+func (s *Server) requestContext(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	timeout := s.maxTimeout
+	if timeoutMS > 0 {
+		if d := time.Duration(timeoutMS) * time.Millisecond; timeout <= 0 || d < timeout {
+			timeout = d
+		}
+	}
+	if timeout <= 0 {
+		return context.WithCancel(parent)
+	}
+	return context.WithTimeout(parent, timeout)
+}
+
+// statusClientClosedRequest is nginx's convention for a request aborted by
+// the client; no stdlib constant exists.
+const statusClientClosedRequest = 499
+
+// writeRunError maps a selection error to an HTTP status: caller mistakes
+// (typed option errors) to 400, deadline to 504, client cancellation to
+// 499, anything else to 500.
+func writeRunError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = statusClientClosedRequest
+	case errors.Is(err, tpp.ErrUnknownMethod),
+		errors.Is(err, tpp.ErrUnknownDivision),
+		errors.Is(err, tpp.ErrNegativeBudget),
+		errors.Is(err, tpp.ErrPatternFixed):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// buildGraph materialises the request's graph and its label mapping.
+func (r *protectRequest) buildGraph() (*graph.Graph, *graph.Labeling, error) {
+	switch {
+	case len(r.Edges) > 0 && r.Dataset != nil:
+		return nil, nil, fmt.Errorf("request sets both edges and dataset; choose one")
+	case len(r.Edges) > 0:
+		return graphFromPairs(r.Edges)
+	case r.Dataset != nil:
+		return graphFromDataset(r.Dataset)
+	default:
+		return nil, nil, fmt.Errorf("request needs a graph: either edges or dataset")
+	}
+}
+
+// graphFromPairs interns the string-labelled edge list into a dense graph,
+// mirroring graph.ReadEdgeList's tolerance: self loops and duplicate edges
+// are dropped silently.
+func graphFromPairs(pairs [][2]string) (*graph.Graph, *graph.Labeling, error) {
+	lab := &graph.Labeling{ToID: make(map[string]graph.NodeID)}
+	intern := func(s string) (graph.NodeID, error) {
+		if s == "" {
+			return 0, fmt.Errorf("empty node label in edge list")
+		}
+		if id, ok := lab.ToID[s]; ok {
+			return id, nil
+		}
+		id := graph.NodeID(len(lab.ToName))
+		lab.ToID[s] = id
+		lab.ToName = append(lab.ToName, s)
+		return id, nil
+	}
+	edges := make([]graph.Edge, 0, len(pairs))
+	for _, p := range pairs {
+		u, err := intern(p[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		v, err := intern(p[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.NewEdge(u, v))
+	}
+	g := graph.New(len(lab.ToName))
+	for _, e := range edges {
+		g.AddEdgeE(e)
+	}
+	return g, lab, nil
+}
+
+func graphFromDataset(spec *datasetSpec) (*graph.Graph, *graph.Labeling, error) {
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	var ds datasets.Dataset
+	switch spec.Name {
+	case "arenas-email", "arenas-email-sim":
+		ds = datasets.ArenasEmailSim(seed)
+	case "dblp", "dblp-sim":
+		scale := spec.Scale
+		if scale == 0 {
+			scale = 2000
+		}
+		ds = datasets.DBLPSim(scale, seed)
+	default:
+		return nil, nil, fmt.Errorf("unknown dataset %q (want arenas-email or dblp)", spec.Name)
+	}
+	g := ds.Graph
+	lab := &graph.Labeling{ToID: make(map[string]graph.NodeID, g.NumNodes())}
+	lab.ToName = make([]string, g.NumNodes())
+	for i := 0; i < g.NumNodes(); i++ {
+		name := strconv.Itoa(i)
+		lab.ToName[i] = name
+		lab.ToID[name] = graph.NodeID(i)
+	}
+	return g, lab, nil
+}
+
+// resolveTargets maps the request's target pairs to graph edges, or samples
+// them server-side when sample_targets is set.
+func (r *protectRequest) resolveTargets(g *graph.Graph, lab *graph.Labeling) ([]graph.Edge, error) {
+	if r.SampleTargets > 0 {
+		if len(r.Targets) > 0 {
+			return nil, fmt.Errorf("request sets both targets and sample_targets; choose one")
+		}
+		seed := r.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		return datasets.SampleTargets(g, r.SampleTargets, rand.New(rand.NewSource(seed))), nil
+	}
+	if len(r.Targets) == 0 {
+		return nil, fmt.Errorf("request needs targets (or sample_targets)")
+	}
+	out := make([]graph.Edge, 0, len(r.Targets))
+	for _, t := range r.Targets {
+		u, ok := lab.ToID[t[0]]
+		if !ok {
+			return nil, fmt.Errorf("target node %q not in graph", t[0])
+		}
+		v, ok := lab.ToID[t[1]]
+		if !ok {
+			return nil, fmt.Errorf("target node %q not in graph", t[1])
+		}
+		out = append(out, graph.NewEdge(u, v))
+	}
+	return out, nil
+}
+
+func edgePairs(edges []graph.Edge, lab *graph.Labeling) [][2]string {
+	out := make([][2]string, len(edges))
+	for i, e := range edges {
+		out[i] = [2]string{lab.Name(e.U), lab.Name(e.V)}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

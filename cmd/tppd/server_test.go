@@ -1,0 +1,286 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tpp"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewServer(2, 1<<20, 30*time.Second, 0).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// quickstartEdges is the quickstart example's 10-person friendship graph.
+var quickstartEdges = [][2]string{
+	{"0", "1"}, {"0", "2"}, {"0", "3"}, {"0", "5"}, {"1", "2"}, {"1", "5"},
+	{"2", "3"}, {"2", "5"}, {"2", "7"}, {"3", "4"}, {"4", "5"}, {"4", "7"},
+	{"5", "6"}, {"6", "7"}, {"7", "8"}, {"8", "9"}, {"2", "4"},
+}
+
+func postProtect(t *testing.T, ts *httptest.Server, req protectRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/protect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestProtectEndToEnd(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postProtect(t, ts, protectRequest{
+		Edges:   quickstartEdges,
+		Targets: [][2]string{{"0", "5"}, {"2", "7"}},
+		Pattern: "Triangle",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out protectResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding response: %v\n%s", err, body)
+	}
+	if !out.FullProtection || out.FinalSimilarity != 0 {
+		t.Fatalf("default request should reach full protection: %+v", out)
+	}
+	if len(out.Protectors) == 0 {
+		t.Fatal("no protectors selected")
+	}
+	if len(out.SimilarityTrace) != len(out.Protectors)+1 {
+		t.Fatalf("trace length %d != %d protectors + 1", len(out.SimilarityTrace), len(out.Protectors))
+	}
+	if len(out.ReleasedEdges) == 0 {
+		t.Fatal("released edge list missing")
+	}
+	// Neither the targets nor the protectors may appear in the release.
+	released := make(map[[2]string]bool, len(out.ReleasedEdges))
+	for _, e := range out.ReleasedEdges {
+		released[e] = true
+		released[[2]string{e[1], e[0]}] = true
+	}
+	for _, e := range append(append([][2]string{}, out.Targets...), out.Protectors...) {
+		if released[e] {
+			t.Fatalf("edge %v present in released graph", e)
+		}
+	}
+	if want := len(quickstartEdges) - 2 - len(out.Protectors); len(out.ReleasedEdges) != want {
+		t.Fatalf("released %d edges, want %d", len(out.ReleasedEdges), want)
+	}
+}
+
+func TestProtectAllMethodsAndOmitReleased(t *testing.T) {
+	ts := newTestServer(t)
+	for _, method := range []string{"sgb", "ct", "wt", "rd", "rdt"} {
+		resp, body := postProtect(t, ts, protectRequest{
+			Edges:        quickstartEdges,
+			Targets:      [][2]string{{"0", "5"}},
+			Method:       method,
+			Division:     "dbd",
+			Budget:       3,
+			Seed:         7,
+			OmitReleased: true,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", method, resp.StatusCode, body)
+		}
+		var out protectResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.ReleasedEdges != nil {
+			t.Fatalf("%s: released edges echoed despite omit_released", method)
+		}
+		if len(out.Protectors) > 3 {
+			t.Fatalf("%s: budget exceeded: %d protectors", method, len(out.Protectors))
+		}
+	}
+}
+
+func TestProtectDatasetWithSampledTargets(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postProtect(t, ts, protectRequest{
+		Dataset:       &datasetSpec{Name: "dblp", Scale: 120, Seed: 3},
+		SampleTargets: 2,
+		Seed:          5,
+		OmitReleased:  true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out protectResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Nodes != 120 || len(out.Targets) != 2 {
+		t.Fatalf("unexpected dataset response: %+v", out)
+	}
+	if !out.FullProtection {
+		t.Fatalf("critical-budget run should fully protect: %+v", out)
+	}
+}
+
+func TestProtectBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		name string
+		req  protectRequest
+	}{
+		{"no graph", protectRequest{Targets: [][2]string{{"a", "b"}}}},
+		{"both graphs", protectRequest{Edges: quickstartEdges, Dataset: &datasetSpec{Name: "dblp"}, Targets: [][2]string{{"0", "5"}}}},
+		{"no targets", protectRequest{Edges: quickstartEdges}},
+		{"unknown node", protectRequest{Edges: quickstartEdges, Targets: [][2]string{{"0", "zzz"}}}},
+		{"not an edge", protectRequest{Edges: quickstartEdges, Targets: [][2]string{{"0", "9"}}}},
+		{"unknown method", protectRequest{Edges: quickstartEdges, Targets: [][2]string{{"0", "5"}}, Method: "bogus"}},
+		{"unknown division", protectRequest{Edges: quickstartEdges, Targets: [][2]string{{"0", "5"}}, Method: "ct", Division: "bogus"}},
+		{"negative budget", protectRequest{Edges: quickstartEdges, Targets: [][2]string{{"0", "5"}}, Budget: -1}},
+		{"unknown pattern", protectRequest{Edges: quickstartEdges, Targets: [][2]string{{"0", "5"}}, Pattern: "Hexagon"}},
+		{"unknown dataset", protectRequest{Dataset: &datasetSpec{Name: "enron"}, SampleTargets: 1}},
+		{"oversized dataset scale", protectRequest{Dataset: &datasetSpec{Name: "dblp", Scale: 1 << 30}, SampleTargets: 1}},
+	}
+	for _, tc := range cases {
+		resp, body := postProtect(t, ts, tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400: %s", tc.name, resp.StatusCode, body)
+		}
+		var out errorResponse
+		if err := json.Unmarshal(body, &out); err != nil || out.Error == "" {
+			t.Fatalf("%s: malformed error body: %s", tc.name, body)
+		}
+	}
+}
+
+func TestProtectMalformedJSON(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/protect", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestProtectDeadlineMapsToGatewayTimeout(t *testing.T) {
+	ts := newTestServer(t)
+	// A 1 ms budget cannot cover generating and indexing a 20k-node graph,
+	// so the selection context expires and the service reports 504.
+	resp, body := postProtect(t, ts, protectRequest{
+		Dataset:       &datasetSpec{Name: "dblp", Scale: 20000, Seed: 2},
+		SampleTargets: 3,
+		TimeoutMS:     1,
+		OmitReleased:  true,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
+	}
+}
+
+func TestWriteRunErrorMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, statusClientClosedRequest},
+		{tpp.ErrUnknownMethod, http.StatusBadRequest},
+		{tpp.ErrUnknownDivision, http.StatusBadRequest},
+		{tpp.ErrNegativeBudget, http.StatusBadRequest},
+		{errors.New("boom"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		writeRunError(rec, tc.err)
+		if rec.Code != tc.want {
+			t.Fatalf("writeRunError(%v) = %d, want %d", tc.err, rec.Code, tc.want)
+		}
+	}
+}
+
+// TestRequestContextHonorsClientTimeoutWithoutServerCap pins that a
+// positive client timeout_ms bounds the request even when the server-side
+// cap is disabled.
+func TestRequestContextHonorsClientTimeoutWithoutServerCap(t *testing.T) {
+	s := NewServer(1, 1<<20, 0, 0) // cap disabled
+	ctx, cancel := s.requestContext(context.Background(), 5)
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("client timeout_ms ignored when server cap is disabled")
+	}
+	ctx2, cancel2 := s.requestContext(context.Background(), 0)
+	defer cancel2()
+	if _, ok := ctx2.Deadline(); ok {
+		t.Fatal("deadline set although both cap and client timeout are unset")
+	}
+	s = NewServer(1, 1<<20, time.Millisecond, 0) // cap below client ask
+	ctx3, cancel3 := s.requestContext(context.Background(), 60_000)
+	defer cancel3()
+	if dl, ok := ctx3.Deadline(); !ok || time.Until(dl) > time.Second {
+		t.Fatalf("client timeout not clamped to server cap (deadline %v)", dl)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	ts := newTestServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			body, _ := json.Marshal(protectRequest{
+				Dataset:       &datasetSpec{Name: "dblp", Scale: 80, Seed: seed},
+				SampleTargets: 2,
+				OmitReleased:  true,
+			})
+			resp, err := http.Post(ts.URL+"/v1/protect", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- resp.Status
+			}
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatalf("concurrent request failed: %s", e)
+	}
+}
+
+func TestHealthzAndDatasets(t *testing.T) {
+	ts := newTestServer(t)
+	for _, path := range []string{"/healthz", "/v1/datasets"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+}

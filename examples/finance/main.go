@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -40,16 +41,19 @@ func main() {
 
 	fmt.Printf("%-10s %8s %10s %12s %14s\n", "motif", "s(∅,T)", "k*", "edges del.", "utility loss")
 	for _, pattern := range motif.Patterns {
-		problem, err := tpp.NewProblem(g, pattern, targets)
+		// One session per threat model: a session is bound to its motif
+		// pattern because the cached subgraph index depends on it.
+		session, err := tpp.New(g, targets, tpp.WithPattern(pattern))
 		if err != nil {
 			log.Fatal(err)
 		}
-		initial := problem.InitialSimilarity()
-		kstar, res, err := tpp.CriticalBudget(problem, tpp.Options{Engine: tpp.EngineLazy})
+		initial := session.Problem().InitialSimilarity()
+		res, err := session.Run(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}
-		released := problem.ProtectedGraph(res.Protectors)
+		kstar := len(res.Protectors)
+		released := session.Release(res)
 		orig := metrics.Compute(g, metrics.LargeGraphMetrics, rand.New(rand.NewSource(5)))
 		rel := metrics.Compute(released, metrics.LargeGraphMetrics, rand.New(rand.NewSource(5)))
 		_, loss := metrics.AverageUtilityLoss(orig, rel)

@@ -6,12 +6,15 @@
 // This example builds a synthetic hospital interaction network (patients,
 // general practitioners, specialists), marks patient–oncologist links as
 // targets, compares budget-division strategies (TBD vs DBD) under CT- and
-// WT-Greedy, and reports the utility cost of the release.
+// WT-Greedy, and reports the utility cost of the release. All four runs
+// share one Protector session, so the expensive motif-subgraph enumeration
+// happens exactly once and each subsequent run reuses the cached index.
 //
 // Run with: go run ./examples/healthcare
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -37,52 +40,47 @@ func main() {
 	// Oncologist referrals flow through GPs, so the adversary's best motif
 	// is the RecTri pattern (shared GP + referral chain). Protect against
 	// it with per-target budgets: every patient deserves individual cover.
-	problem, err := tpp.NewProblem(g, motif.RecTri, targets)
+	session, err := tpp.New(g, targets, tpp.WithPattern(motif.RecTri))
 	if err != nil {
 		log.Fatal(err)
 	}
-	initial := problem.InitialSimilarity()
+	initial := session.Problem().InitialSimilarity()
 	fmt.Printf("initial RecTri similarity s(∅,T) = %d\n", initial)
 
+	ctx := context.Background()
 	k := initial // enough budget for full protection
-	for _, division := range []string{"TBD", "DBD"} {
-		budgets, err := divide(problem, division, k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ct, err := tpp.CTGreedy(problem, budgets, tpp.Options{Engine: tpp.EngineIndexed})
-		if err != nil {
-			log.Fatal(err)
-		}
-		wt, err := tpp.WTGreedy(problem, budgets, tpp.Options{Engine: tpp.EngineIndexed})
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, division := range []tpp.Division{tpp.DivisionTBD, tpp.DivisionDBD} {
 		fmt.Printf("\n%s budget division (k = %d):\n", division, k)
-		report(problem, "CT-Greedy", ct)
-		report(problem, "WT-Greedy", wt)
+		for _, method := range []tpp.Method{tpp.MethodCT, tpp.MethodWT} {
+			// Per-run overrides: the session re-dispatches without paying
+			// the motif enumeration again.
+			res, err := session.Run(ctx,
+				tpp.WithMethod(method),
+				tpp.WithDivision(division),
+				tpp.WithBudget(k),
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report(session, res)
+		}
 	}
+	fmt.Printf("\nmotif index built %d time(s) across 4 runs — the session cache at work\n",
+		session.IndexBuilds())
 }
 
-func divide(p *tpp.Problem, division string, k int) ([]int, error) {
-	if division == "TBD" {
-		return tpp.TBDForProblem(p, k)
-	}
-	return tpp.DBDForProblem(p, k)
-}
-
-func report(p *tpp.Problem, name string, res *tpp.Result) {
-	released := p.ProtectedGraph(res.Protectors)
+func report(session *tpp.Protector, res *tpp.Result) {
+	released := session.Release(res)
 	rng := rand.New(rand.NewSource(7))
-	orig := metrics.Compute(p.G, metrics.LargeGraphMetrics, rng)
+	orig := metrics.Compute(session.Problem().G, metrics.LargeGraphMetrics, rng)
 	rel := metrics.Compute(released, metrics.LargeGraphMetrics, rand.New(rand.NewSource(7)))
 	_, loss := metrics.AverageUtilityLoss(orig, rel)
 	status := "FULL PROTECTION"
 	if !res.FullProtection() {
 		status = fmt.Sprintf("%d subgraphs remain", res.FinalSimilarity())
 	}
-	fmt.Printf("  %-10s deleted %3d protectors — %s, utility loss %.2f%%\n",
-		name, len(res.Protectors), status, loss*100)
+	fmt.Printf("  %-12s deleted %3d protectors — %s, utility loss %.2f%%\n",
+		res.Method, len(res.Protectors), status, loss*100)
 }
 
 // buildHospitalGraph wires patients to GPs (many visible links), GPs to

@@ -1,14 +1,16 @@
 // Quickstart: protect two sensitive links in a small social graph.
 //
-// This walks the full TPP pipeline on a toy graph: build the graph, declare
-// targets, pick a motif threat model, remove the targets (phase 1), select
-// and delete protectors with SGB-Greedy (phase 2), and verify that the
-// adversary's motif count for every target is zero.
+// This walks the full TPP pipeline on a toy graph through the Protector
+// session API: build the graph, declare targets, pick a motif threat
+// model, construct a session with tpp.New, run it (phase-1 target removal
+// plus phase-2 SGB-Greedy protector selection at the critical budget), and
+// verify that the adversary's motif count for every target is zero.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,27 +34,31 @@ func main() {
 
 	// The threat model: adversaries predict missing links from Triangle
 	// motifs (common neighbours). Rectangle and RecTri are available too.
-	problem, err := tpp.NewProblem(g, motif.Triangle, targets)
+	// One session = one graph + targets + pattern; the default options
+	// (SGB-Greedy at the critical budget k*) give full protection with the
+	// fewest deletions. WithProgress streams every greedy step live.
+	session, err := tpp.New(g, targets,
+		tpp.WithPattern(motif.Triangle),
+		tpp.WithProgress(func(step int, p graph.Edge, similarity int) {
+			fmt.Printf("  step %d: delete protector %v  (similarity -> %d)\n",
+				step, p, similarity)
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("graph: %d nodes, %d edges; %d targets\n",
 		g.NumNodes(), g.NumEdges(), len(targets))
-	fmt.Printf("initial similarity s(∅,T) = %d target triangles\n", problem.InitialSimilarity())
+	fmt.Printf("initial similarity s(∅,T) = %d target triangles\n",
+		session.Problem().InitialSimilarity())
 
-	// Find the critical budget k*: the fewest protector deletions that
-	// achieve full protection, then run the greedy at that budget.
-	kstar, res, err := tpp.CriticalBudget(problem, tpp.Options{Engine: tpp.EngineLazy})
+	res, err := session.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("critical budget k* = %d\n", kstar)
-	for i, p := range res.Protectors {
-		fmt.Printf("  step %d: delete protector %v  (similarity %d -> %d)\n",
-			i+1, p, res.SimilarityTrace[i], res.SimilarityTrace[i+1])
-	}
+	fmt.Printf("critical budget k* = %d\n", len(res.Protectors))
 
-	released := problem.ProtectedGraph(res.Protectors)
+	released := session.Release(res)
 	fmt.Printf("released graph: %d edges (%d targets + %d protectors removed)\n",
 		released.NumEdges(), len(targets), len(res.Protectors))
 

@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -32,7 +34,11 @@ func main() {
 	fmt.Printf("day 0: %v\n", g.Summary())
 	fmt.Printf("confidential relationships: %v\n", targets)
 
-	guard, err := tpp.NewGuard(problem)
+	// The initial protection run is deadline-bounded, like any other
+	// production selection.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	guard, err := tpp.NewGuardCtx(ctx, problem)
 	if err != nil {
 		log.Fatal(err)
 	}

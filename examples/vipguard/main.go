@@ -14,10 +14,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -45,25 +47,30 @@ func main() {
 	}
 	fmt.Printf("sensitive ties: %v\n", targets)
 
-	problem, err := tpp.NewProblem(g, motif.Triangle, targets)
+	session, err := tpp.New(g, targets, tpp.WithPattern(motif.Triangle))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// --- Attack on the naive release (targets merely hidden) -------------
-	naive := problem.Phase1()
+	naive := session.Problem().Phase1()
 	fmt.Println("\nattack on naive release (targets deleted, nothing else):")
 	attack(naive, targets, rng)
 
 	// --- TPP defense ------------------------------------------------------
-	kstar, res, err := tpp.CriticalBudget(problem, tpp.Options{Engine: tpp.EngineLazy})
+	// A deadline-bounded run: a real protection service never lets one
+	// request hold a worker forever.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := session.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
+	kstar := len(res.Protectors)
 	fmt.Printf("\nTPP defense: k* = %d protector deletions (%.2f%% of all edges)\n",
 		kstar, 100*float64(kstar)/float64(g.NumEdges()))
 
-	released := problem.ProtectedGraph(res.Protectors)
+	released := session.Release(res)
 	fmt.Println("attack on TPP-protected release:")
 	attack(released, targets, rng)
 }

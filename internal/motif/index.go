@@ -168,6 +168,32 @@ func (ix *Index) DeleteEdge(p graph.Edge) int {
 	return broken
 }
 
+// Reset revives every instance and restores the build-time gains and
+// per-target similarities, clearing all recorded deletions. It costs
+// O(total instance-edge incidences) — far cheaper than the subgraph
+// enumeration NewIndex performs — which is what makes one index reusable
+// across repeated selection runs on the same graph, targets and pattern.
+func (ix *Index) Reset() {
+	if len(ix.deleted) == 0 {
+		return
+	}
+	clear(ix.deleted)
+	clear(ix.gain)
+	for i := range ix.perTarget {
+		ix.perTarget[i] = 0
+	}
+	ix.alive = 0
+	for i := range ix.inst {
+		in := &ix.inst[i]
+		in.dead = false
+		ix.perTarget[in.target]++
+		ix.alive++
+		for _, e := range in.edges[:in.ne] {
+			ix.gain[e]++
+		}
+	}
+}
+
 // CandidateEdges returns the Lemma 5 restricted protector set: every edge
 // that currently participates in at least one alive target subgraph, in
 // canonical order. Edges outside this set have zero marginal gain forever

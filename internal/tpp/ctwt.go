@@ -1,6 +1,7 @@
 package tpp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -30,7 +31,7 @@ func validateBudgets(p *Problem, budgets []int) error {
 	}
 	for i, b := range budgets {
 		if b < 0 {
-			return fmt.Errorf("tpp: negative sub budget %d for target %v", b, p.Targets[i])
+			return fmt.Errorf("%w: sub budget %d for target %v", ErrNegativeBudget, b, p.Targets[i])
 		}
 	}
 	return nil
@@ -43,10 +44,19 @@ func validateBudgets(p *Problem, budgets []int) error {
 // This is greedy submodular maximisation over a partition matroid and
 // achieves a 1/2-approximation (Theorem 4).
 func CTGreedy(p *Problem, budgets []int, opt Options) (*Result, error) {
+	return ctGreedy(p, budgets, opt, runEnv{})
+}
+
+// CTGreedyCtx is CTGreedy with cooperative cancellation (see SGBGreedyCtx).
+func CTGreedyCtx(ctx context.Context, p *Problem, budgets []int, opt Options) (*Result, error) {
+	return ctGreedy(p, budgets, opt, runEnv{ctx: ctx})
+}
+
+func ctGreedy(p *Problem, budgets []int, opt Options, env runEnv) (*Result, error) {
 	if err := validateBudgets(p, budgets); err != nil {
 		return nil, err
 	}
-	ev, err := newEvaluator(p, opt)
+	ev, err := env.evaluator(p, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -54,6 +64,9 @@ func CTGreedy(p *Problem, budgets []int, opt Options) (*Result, error) {
 	res := newResult(opt.VariantName("CT-Greedy"), ev.totalSimilarity())
 	used := make([]int, len(budgets))
 	for {
+		if err := env.err(); err != nil {
+			return nil, err
+		}
 		remaining := false
 		for i := range budgets {
 			if used[i] < budgets[i] {
@@ -67,7 +80,12 @@ func CTGreedy(p *Problem, budgets []int, opt Options) (*Result, error) {
 		var bestEdge graph.Edge
 		bestTarget := -1
 		var best targetGain
-		for _, cand := range ev.candidates() {
+		for i, cand := range ev.candidates() {
+			if i%checkEvery == checkEvery-1 {
+				if err := env.err(); err != nil {
+					return nil, err
+				}
+			}
 			delta, tot := ev.gainVector(cand)
 			for ti := range p.Targets {
 				if used[ti] >= budgets[ti] {
@@ -89,6 +107,7 @@ func CTGreedy(p *Problem, budgets []int, opt Options) (*Result, error) {
 		used[bestTarget]++
 		ev.delete(bestEdge)
 		res.record(bestEdge, ev.totalSimilarity(), time.Since(start))
+		env.onStep(res)
 	}
 	res.PerTargetFinal = append([]int(nil), ev.similarities()...)
 	res.Elapsed = time.Since(start)
@@ -101,21 +120,43 @@ func CTGreedy(p *Problem, budgets []int, opt Options) (*Result, error) {
 // largest Δ_p^t for that target. Achieves a 1 − e^{−(1−1/e)} ≈ 0.46
 // approximation (Theorem 5).
 func WTGreedy(p *Problem, budgets []int, opt Options) (*Result, error) {
+	return wtGreedy(p, budgets, opt, runEnv{})
+}
+
+// WTGreedyCtx is WTGreedy with cooperative cancellation (see SGBGreedyCtx).
+func WTGreedyCtx(ctx context.Context, p *Problem, budgets []int, opt Options) (*Result, error) {
+	return wtGreedy(p, budgets, opt, runEnv{ctx: ctx})
+}
+
+func wtGreedy(p *Problem, budgets []int, opt Options, env runEnv) (*Result, error) {
 	if err := validateBudgets(p, budgets); err != nil {
 		return nil, err
 	}
-	ev, err := newEvaluator(p, opt)
+	ev, err := env.evaluator(p, opt)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	res := newResult(opt.VariantName("WT-Greedy"), ev.totalSimilarity())
+	finish := func() (*Result, error) {
+		res.PerTargetFinal = append([]int(nil), ev.similarities()...)
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
 	for ti := range p.Targets {
 		for b := 0; b < budgets[ti]; b++ {
+			if err := env.err(); err != nil {
+				return nil, err
+			}
 			var bestEdge graph.Edge
 			var best targetGain
 			found := false
-			for _, cand := range ev.candidates() {
+			for i, cand := range ev.candidates() {
+				if i%checkEvery == checkEvery-1 {
+					if err := env.err(); err != nil {
+						return nil, err
+					}
+				}
 				delta, tot := ev.gainVector(cand)
 				w := 0
 				if delta != nil {
@@ -130,15 +171,12 @@ func WTGreedy(p *Problem, budgets []int, opt Options) (*Result, error) {
 				// Δ_p^t == 0 for every remaining pair means no deletion
 				// breaks any target subgraph anywhere (the cross part is
 				// included in Δ), so stopping globally is exact.
-				res.PerTargetFinal = append([]int(nil), ev.similarities()...)
-				res.Elapsed = time.Since(start)
-				return res, nil
+				return finish()
 			}
 			ev.delete(bestEdge)
 			res.record(bestEdge, ev.totalSimilarity(), time.Since(start))
+			env.onStep(res)
 		}
 	}
-	res.PerTargetFinal = append([]int(nil), ev.similarities()...)
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return finish()
 }

@@ -1,6 +1,7 @@
 package tpp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -36,7 +37,13 @@ type Guard struct {
 // and returns a guard maintaining that state. The problem's graph is not
 // mutated; the guard owns a private copy.
 func NewGuard(p *Problem) (*Guard, error) {
-	_, res, err := CriticalBudget(p, Options{Engine: EngineLazy})
+	return NewGuardCtx(context.Background(), p)
+}
+
+// NewGuardCtx is NewGuard with cooperative cancellation of the initial
+// protection run.
+func NewGuardCtx(ctx context.Context, p *Problem) (*Guard, error) {
+	_, res, err := CriticalBudgetCtx(ctx, p, Options{Engine: EngineLazy})
 	if err != nil {
 		return nil, err
 	}
@@ -70,6 +77,15 @@ func (gd *Guard) Similarity() int {
 // until full protection is restored; the deleted edges are returned (the
 // new link itself is a legal protector and is often the cheapest fix).
 func (gd *Guard) AddEdge(u, v graph.NodeID) (admitted bool, deleted []graph.Edge, err error) {
+	return gd.AddEdgeCtx(context.Background(), u, v)
+}
+
+// AddEdgeCtx is AddEdge with cooperative cancellation of the re-protection
+// loop. If ctx expires mid-repair, the new edge has already been admitted
+// and the protector deletions applied so far are recorded in Deletions and
+// returned as (true, deleted, ctx.Err()) — but the maintained graph may be
+// left with residual similarity, so callers should discard the guard.
+func (gd *Guard) AddEdgeCtx(ctx context.Context, u, v graph.NodeID) (admitted bool, deleted []graph.Edge, err error) {
 	if u == v {
 		return false, nil, fmt.Errorf("tpp: guard: self loop %d-%d", u, v)
 	}
@@ -93,6 +109,10 @@ func (gd *Guard) AddEdge(u, v graph.NodeID) (admitted bool, deleted []graph.Edge
 		return false, nil, err
 	}
 	for ix.TotalSimilarity() > 0 {
+		if err := ctx.Err(); err != nil {
+			gd.Deletions = append(gd.Deletions, deleted...)
+			return true, deleted, err
+		}
 		best, gain, ok := ix.ArgmaxGain()
 		if !ok || gain == 0 {
 			return false, nil, fmt.Errorf("tpp: guard: cannot restore protection (residual similarity %d)", ix.TotalSimilarity())

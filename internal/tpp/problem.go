@@ -4,12 +4,29 @@
 // deleting a budget-limited set of non-target protector links so that
 // motif-based link prediction can no longer infer the targets.
 //
-// The package provides the paper's three greedy protector-selection
-// algorithms (SGB-Greedy, CT-Greedy, WT-Greedy), their scalable -R
-// variants (Lemma 5 candidate restriction), the TBD and DBD budget
-// division strategies, the RD/RDT baselines, a CELF-style lazy-greedy
-// extension, and a brute-force optimum for verifying approximation
-// bounds on small instances.
+// The front door is the Protector session API: construct one session per
+// graph + target set + motif pattern with New and functional options, then
+// drive it with Run (context-aware, cancellable) any number of times —
+// the session caches the motif index, so repeated runs with different
+// budgets, methods or divisions skip the dominant subgraph-enumeration
+// cost. Release materialises the released graph for a run's result:
+//
+//	session, err := tpp.New(g, targets,
+//		tpp.WithPattern(motif.Triangle),
+//		tpp.WithMethod(tpp.MethodWT),
+//		tpp.WithDivision(tpp.DivisionDBD),
+//		tpp.WithBudget(10))
+//	res, err := session.Run(ctx)
+//	released := session.Release(res)
+//
+// Underneath, the package provides the paper's three greedy
+// protector-selection algorithms (SGB-Greedy, CT-Greedy, WT-Greedy), their
+// scalable -R variants (Lemma 5 candidate restriction), the TBD and DBD
+// budget division strategies, the RD/RDT baselines, a CELF-style
+// lazy-greedy extension, and a brute-force optimum for verifying
+// approximation bounds on small instances. These remain exported for fine
+// control; cmd/tpp, cmd/tppd and the examples all dispatch through the
+// session.
 package tpp
 
 import (

@@ -1,20 +1,18 @@
 package tpp
 
 import (
-	"fmt"
-	"math/rand"
+	"context"
 
 	"repro/internal/graph"
 	"repro/internal/motif"
 )
 
-// Protect is the one-call convenience API: given a graph, the sensitive
-// targets, a motif threat model and a budget policy, it runs the full TPP
-// pipeline and returns the released graph together with the selection
-// report. It is what cmd/tpp and most adopters want; the lower-level
-// Problem/greedy API remains available for fine control.
+// Protect is the legacy one-call convenience API, kept as a thin shim over
+// the Protector session (New / Run / Release) so existing callers keep
+// working. New code should construct a session: it adds context
+// cancellation, per-step progress, and index reuse across runs.
 
-// Method names a protector-selection algorithm for Protect.
+// Method names a protector-selection algorithm.
 type Method string
 
 const (
@@ -44,71 +42,40 @@ type ProtectConfig struct {
 	Method   Method // default MethodSGB
 	Division Division
 	// Budget limits protector deletions; 0 selects the critical budget k*
-	// (smallest budget achieving full protection).
+	// (smallest budget achieving full protection). Negative budgets fail
+	// with ErrNegativeBudget.
 	Budget int
-	// Seed drives the random baselines (ignored by greedy methods).
+	// Seed drives the random baselines (only MethodRD and MethodRDT use
+	// it; the greedy methods are deterministic).
 	Seed int64
 }
 
 // Protect runs phases 1 and 2 and returns the released graph and the
 // selection result. The input graph is never mutated.
+//
+// Deprecated: use New and (*Protector).Run, which add context cancellation
+// and amortise the motif index across repeated runs. Protect builds a
+// fresh single-use session per call. Two intentional behaviour changes
+// from the original: a negative Budget is now rejected with
+// ErrNegativeBudget instead of silently selecting the critical budget
+// (pass 0 for k*), and CT/WT results are labelled "CT-Greedy-R" /
+// "WT-Greedy-R" — the indexed evaluator always did use the Lemma 5
+// restricted candidate set, so the old unsuffixed label was inaccurate.
+// Selections themselves are unchanged.
 func Protect(g *graph.Graph, targets []graph.Edge, cfg ProtectConfig) (*graph.Graph, *Result, error) {
-	if cfg.Method == "" {
-		cfg.Method = MethodSGB
-	}
-	if cfg.Division == "" {
-		cfg.Division = DivisionTBD
-	}
-	problem, err := NewProblem(g, cfg.Pattern, targets)
+	pr, err := New(g, targets,
+		WithPattern(cfg.Pattern),
+		WithMethod(cfg.Method),
+		WithDivision(cfg.Division),
+		WithBudget(cfg.Budget),
+		WithSeed(cfg.Seed),
+	)
 	if err != nil {
 		return nil, nil, err
 	}
-	fast := Options{Engine: EngineLazy, Scope: ScopeTargetSubgraphs}
-
-	budget := cfg.Budget
-	if budget <= 0 {
-		kstar, res, err := CriticalBudget(problem, fast)
-		if err != nil {
-			return nil, nil, err
-		}
-		if cfg.Method == MethodSGB {
-			// The critical-budget run already is the SGB answer.
-			return problem.ProtectedGraph(res.Protectors), res, nil
-		}
-		budget = kstar
-	}
-
-	var res *Result
-	switch cfg.Method {
-	case MethodSGB:
-		res, err = SGBGreedy(problem, budget, fast)
-	case MethodCT, MethodWT:
-		var budgets []int
-		switch cfg.Division {
-		case DivisionTBD:
-			budgets, err = TBDForProblem(problem, budget)
-		case DivisionDBD:
-			budgets, err = DBDForProblem(problem, budget)
-		default:
-			return nil, nil, fmt.Errorf("tpp: unknown budget division %q", cfg.Division)
-		}
-		if err != nil {
-			return nil, nil, err
-		}
-		if cfg.Method == MethodCT {
-			res, err = CTGreedy(problem, budgets, Options{Engine: EngineIndexed})
-		} else {
-			res, err = WTGreedy(problem, budgets, Options{Engine: EngineIndexed})
-		}
-	case MethodRD:
-		res, err = RandomDeletion(problem, budget, rand.New(rand.NewSource(cfg.Seed)))
-	case MethodRDT:
-		res, err = RandomDeletionFromTargets(problem, budget, rand.New(rand.NewSource(cfg.Seed)))
-	default:
-		return nil, nil, fmt.Errorf("tpp: unknown method %q", cfg.Method)
-	}
+	res, err := pr.Run(context.Background())
 	if err != nil {
 		return nil, nil, err
 	}
-	return problem.ProtectedGraph(res.Protectors), res, nil
+	return pr.Release(res), res, nil
 }

@@ -1,0 +1,68 @@
+package tpp
+
+import (
+	"context"
+
+	"repro/internal/graph"
+	"repro/internal/motif"
+)
+
+// ProgressFunc observes a selection run: it is called after every committed
+// protector deletion with the 1-based step number, the deleted edge, and
+// the total similarity remaining. Callbacks run synchronously on the
+// selection goroutine, so they must be fast; they are the natural place to
+// report progress or trip a context cancellation.
+type ProgressFunc func(step int, protector graph.Edge, similarity int)
+
+// runEnv carries the session-level plumbing into the greedy selection
+// loops: the cancellation context, an optional prebuilt motif index to
+// reuse instead of enumerating afresh, and an optional progress callback.
+// The zero value (no context, no index, no progress) reproduces the plain
+// free-function behaviour.
+type runEnv struct {
+	ctx      context.Context
+	ix       *motif.Index
+	progress ProgressFunc
+}
+
+// err reports the context's cancellation state without blocking. Selection
+// loops call it once per committed step (and periodically inside candidate
+// scans), so a cancelled or expired context aborts a run mid-selection.
+func (e *runEnv) err() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
+// onStep fires the progress callback for the most recently recorded step.
+func (e *runEnv) onStep(res *Result) {
+	if e.progress == nil {
+		return
+	}
+	n := len(res.Protectors)
+	e.progress(n, res.Protectors[n-1], res.SimilarityTrace[n])
+}
+
+// evaluator returns the gain oracle for the run: the prebuilt index when
+// one is installed and the engine can use it, otherwise a fresh one from
+// newEvaluator.
+func (e *runEnv) evaluator(p *Problem, opt Options) (evaluator, error) {
+	if e.ix != nil && opt.Engine != EngineRecount {
+		return &indexedEvaluator{ix: e.ix}, nil
+	}
+	return newEvaluator(p, opt)
+}
+
+// index returns the prebuilt index or builds one for the problem.
+func (e *runEnv) index(p *Problem) (*motif.Index, error) {
+	if e.ix != nil {
+		return e.ix, nil
+	}
+	return motif.NewIndex(p.Phase1(), p.Pattern, p.Targets)
+}
+
+// checkEvery is how many candidate evaluations a scan performs between
+// context checks, bounding both the cancellation latency of cheap indexed
+// scans and the per-candidate overhead.
+const checkEvery = 256

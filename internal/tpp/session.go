@@ -1,0 +1,299 @@
+package tpp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/motif"
+)
+
+// Protector is a reusable protection session: one graph, one target set and
+// one motif threat model, constructed once with New and driven any number
+// of times with Run. The session owns the expensive per-graph state — above
+// all the motif index, whose subgraph enumeration dominates the cost of a
+// single request — and reuses it across runs, so asking the same session
+// for different budgets, methods or divisions pays the enumeration only
+// once. Run is safe for concurrent use; runs are serialised internally
+// because they share the cached index, and a Run waiting its turn still
+// honours its context's cancellation and deadline.
+//
+// Protector is the front door of this package: cmd/tpp, cmd/tppd, the
+// examples and the deprecated Protect shim all dispatch through it.
+type Protector struct {
+	problem *Problem
+	base    settings
+
+	runSlot     chan struct{} // capacity 1: serialises runs, ctx-aware
+	ix          *motif.Index  // built on first indexed run, then reused
+	indexBuilds atomic.Int64  // number of motif.NewIndex calls (observability)
+}
+
+// settings is the resolved option set for a session or a single run.
+type settings struct {
+	pattern  motif.Pattern
+	method   Method
+	division Division
+	budget   int
+	engine   Engine
+	scope    Scope
+	seed     int64
+	progress ProgressFunc
+}
+
+func defaultSettings() settings {
+	return settings{
+		pattern:  motif.Triangle,
+		method:   MethodSGB,
+		division: DivisionTBD,
+		budget:   0, // critical budget k*
+		engine:   EngineLazy,
+		scope:    ScopeTargetSubgraphs,
+		seed:     1,
+	}
+}
+
+func (s *settings) validate() error {
+	switch s.method {
+	case MethodSGB, MethodCT, MethodWT, MethodRD, MethodRDT:
+	default:
+		return fmt.Errorf("%w: %q", ErrUnknownMethod, s.method)
+	}
+	switch s.division {
+	case DivisionTBD, DivisionDBD:
+	default:
+		return fmt.Errorf("%w: %q", ErrUnknownDivision, s.division)
+	}
+	if s.budget < 0 {
+		return fmt.Errorf("%w: %d", ErrNegativeBudget, s.budget)
+	}
+	return nil
+}
+
+// Option configures a Protector at construction time (New) or a single run
+// (Run). Per-run options override the session's, except WithPattern, which
+// Run rejects: the pattern is part of the session's identity.
+type Option func(*settings)
+
+// WithPattern sets the motif threat model (default Triangle). Valid only at
+// New; a Run passing a different pattern fails with ErrPatternFixed.
+func WithPattern(p motif.Pattern) Option { return func(s *settings) { s.pattern = p } }
+
+// WithMethod selects the protector-selection algorithm (default MethodSGB).
+func WithMethod(m Method) Option {
+	return func(s *settings) {
+		if m != "" {
+			s.method = m
+		}
+	}
+}
+
+// WithDivision selects the budget division for MethodCT / MethodWT
+// (default DivisionTBD). Ignored by the other methods.
+func WithDivision(d Division) Option {
+	return func(s *settings) {
+		if d != "" {
+			s.division = d
+		}
+	}
+}
+
+// WithBudget caps the number of protector deletions. Zero (the default)
+// selects the critical budget k*: the smallest budget achieving full
+// protection. Negative budgets fail validation with ErrNegativeBudget.
+func WithBudget(k int) Option { return func(s *settings) { s.budget = k } }
+
+// WithEngine selects the gain-evaluation engine (default EngineLazy, the
+// fastest). Every engine produces identical selections; EngineRecount exists
+// to reproduce the paper's naive running-time baseline and bypasses the
+// session's index cache.
+func WithEngine(e Engine) Option { return func(s *settings) { s.engine = e } }
+
+// WithScope selects the candidate protector universe (default
+// ScopeTargetSubgraphs, the paper's -R restriction — exact and faster).
+func WithScope(sc Scope) Option { return func(s *settings) { s.scope = sc } }
+
+// WithSeed seeds the random baselines. Only MethodRD and MethodRDT consume
+// randomness; the seed is ignored by the deterministic greedy methods.
+func WithSeed(seed int64) Option { return func(s *settings) { s.seed = seed } }
+
+// WithProgress installs a per-step callback (see ProgressFunc). Useful for
+// live reporting and for cancelling a run from within via its context.
+func WithProgress(fn ProgressFunc) Option { return func(s *settings) { s.progress = fn } }
+
+// New constructs a protection session for the graph and target links.
+// It validates the targets (each must be a distinct existing edge) and the
+// options eagerly, so a server can map a New failure to a bad request.
+// The graph is never mutated; expensive state is built lazily on first Run.
+func New(g *graph.Graph, targets []graph.Edge, opts ...Option) (*Protector, error) {
+	s := defaultSettings()
+	for _, o := range opts {
+		o(&s)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	problem, err := NewProblem(g, s.pattern, targets)
+	if err != nil {
+		return nil, err
+	}
+	return &Protector{
+		problem: problem,
+		base:    s,
+		runSlot: make(chan struct{}, 1),
+	}, nil
+}
+
+// Problem exposes the validated problem instance (canonicalised targets,
+// phase-1 helpers) for callers that need lower-level access.
+func (pr *Protector) Problem() *Problem { return pr.problem }
+
+// IndexBuilds reports how many times the session has built a motif index —
+// 1 after any number of indexed runs is the reuse working as intended.
+func (pr *Protector) IndexBuilds() int { return int(pr.indexBuilds.Load()) }
+
+// Run executes one protection request: phase-2 protector selection under
+// the session's options merged with the per-run overrides. It honours ctx
+// throughout — an already-cancelled context returns ctx.Err() before any
+// work, and cancellation mid-selection aborts between greedy steps.
+//
+// Reusing the session is the fast path: the first indexed run enumerates
+// the target subgraphs once (motif.NewIndex), and every later run resets
+// and reuses that index instead of re-enumerating.
+func (pr *Protector) Run(ctx context.Context, opts ...Option) (*Result, error) {
+	s := pr.base
+	for _, o := range opts {
+		o(&s)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if s.pattern != pr.problem.Pattern {
+		return nil, ErrPatternFixed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Take the session's run slot; unlike a mutex the wait is abandoned
+	// the moment ctx dies, so a queued request never outlives its deadline.
+	// (The explicit check above matters: select picks randomly among ready
+	// cases, so a dead ctx could otherwise still win a free slot.)
+	select {
+	case pr.runSlot <- struct{}{}:
+		defer func() { <-pr.runSlot }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+
+	env := runEnv{ctx: ctx, progress: s.progress}
+	if s.engine != EngineRecount || s.method == MethodRD || s.method == MethodRDT {
+		// Baselines always need the index for their similarity trace.
+		if pr.ix == nil {
+			ix, err := motif.NewIndex(pr.problem.Phase1(), pr.problem.Pattern, pr.problem.Targets)
+			if err != nil {
+				return nil, err
+			}
+			pr.ix = ix
+			pr.indexBuilds.Add(1)
+		} else {
+			pr.ix.Reset()
+		}
+		env.ix = pr.ix
+	}
+	opt := Options{Engine: s.engine, Scope: s.scope}
+
+	budget := s.budget
+	if budget <= 0 {
+		// Critical budget k*: run SGB unbounded; for MethodSGB that run
+		// already is the answer, otherwise its length becomes the budget.
+		// For the other methods this is only a sizing probe, so it must not
+		// leak its steps to the caller's progress callback.
+		probeEnv := env
+		if s.method != MethodSGB {
+			probeEnv.progress = nil
+		}
+		kstar, res, err := criticalBudget(pr.problem, opt, probeEnv)
+		if err != nil {
+			return nil, err
+		}
+		if s.method == MethodSGB {
+			return res, nil
+		}
+		budget = kstar
+		if env.ix != nil {
+			env.ix.Reset()
+		}
+	}
+
+	switch s.method {
+	case MethodSGB:
+		return sgbGreedy(pr.problem, budget, opt, env)
+	case MethodCT, MethodWT:
+		budgets, err := pr.divide(s.division, budget, env)
+		if err != nil {
+			return nil, err
+		}
+		if s.method == MethodCT {
+			return ctGreedy(pr.problem, budgets, opt, env)
+		}
+		return wtGreedy(pr.problem, budgets, opt, env)
+	case MethodRD:
+		return randomDeletion(pr.problem, budget, rand.New(rand.NewSource(s.seed)), env)
+	case MethodRDT:
+		return randomDeletionFromTargets(pr.problem, budget, rand.New(rand.NewSource(s.seed)), env)
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownMethod, s.method) // unreachable: validate caught it
+}
+
+// divide computes the per-target sub budgets. With a live index the TBD
+// weights (initial per-target similarities) are read off it for free;
+// otherwise they are counted from the phase-1 graph.
+func (pr *Protector) divide(d Division, k int, env runEnv) ([]int, error) {
+	switch d {
+	case DivisionTBD:
+		if env.ix != nil {
+			return TBD(k, env.ix.Similarities())
+		}
+		return TBDForProblem(pr.problem, k)
+	case DivisionDBD:
+		return DBDForProblem(pr.problem, k)
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownDivision, d)
+}
+
+// Release materialises the released graph for a result of this session:
+// the original graph minus the targets (phase 1) minus the selected
+// protectors (phase 2). The input graph is never mutated.
+func (pr *Protector) Release(res *Result) *graph.Graph {
+	return pr.problem.ProtectedGraph(res.Protectors)
+}
+
+// ParseMethod maps the wire/CLI spelling of a method ("sgb", "ct", "wt",
+// "rd", "rdt"; empty selects the default MethodSGB) to its Method, or
+// fails with ErrUnknownMethod.
+func ParseMethod(s string) (Method, error) {
+	switch m := Method(s); m {
+	case "":
+		return MethodSGB, nil
+	case MethodSGB, MethodCT, MethodWT, MethodRD, MethodRDT:
+		return m, nil
+	default:
+		return "", fmt.Errorf("%w: %q (want sgb, ct, wt, rd or rdt)", ErrUnknownMethod, s)
+	}
+}
+
+// ParseDivision maps the wire/CLI spelling of a budget division ("tbd",
+// "dbd"; empty selects the default DivisionTBD) to its Division, or fails
+// with ErrUnknownDivision.
+func ParseDivision(s string) (Division, error) {
+	switch d := Division(s); d {
+	case "":
+		return DivisionTBD, nil
+	case DivisionTBD, DivisionDBD:
+		return d, nil
+	default:
+		return "", fmt.Errorf("%w: %q (want tbd or dbd)", ErrUnknownDivision, s)
+	}
+}

@@ -2,11 +2,11 @@ package tpp
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/graph"
-	"repro/internal/motif"
 )
 
 // SGBGreedy solves the Single-Global-Budget TPP problem (paper Def. 1,
@@ -15,22 +15,41 @@ import (
 // Because f(P, T) is monotone and submodular (Lemmas 1–2), the output is a
 // (1 − 1/e)-approximation of the optimal protector set (Theorem 3).
 func SGBGreedy(p *Problem, k int, opt Options) (*Result, error) {
+	return sgbGreedy(p, k, opt, runEnv{})
+}
+
+// SGBGreedyCtx is SGBGreedy with cooperative cancellation: the selection
+// loop checks ctx between steps (and periodically inside candidate scans)
+// and aborts with ctx.Err() when it is cancelled or past its deadline.
+func SGBGreedyCtx(ctx context.Context, p *Problem, k int, opt Options) (*Result, error) {
+	return sgbGreedy(p, k, opt, runEnv{ctx: ctx})
+}
+
+func sgbGreedy(p *Problem, k int, opt Options, env runEnv) (*Result, error) {
 	if k < 0 {
-		return nil, fmt.Errorf("tpp: negative budget %d", k)
+		return nil, fmt.Errorf("%w: %d", ErrNegativeBudget, k)
 	}
 	if opt.Engine == EngineLazy {
-		return sgbLazy(p, k, opt)
+		return sgbLazy(p, k, opt, env)
 	}
-	ev, err := newEvaluator(p, opt)
+	ev, err := env.evaluator(p, opt)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	res := newResult(opt.VariantName("SGB-Greedy"), ev.totalSimilarity())
 	for len(res.Protectors) < k {
+		if err := env.err(); err != nil {
+			return nil, err
+		}
 		var best graph.Edge
 		bestGain := 0
-		for _, cand := range ev.candidates() {
+		for i, cand := range ev.candidates() {
+			if i%checkEvery == checkEvery-1 {
+				if err := env.err(); err != nil {
+					return nil, err
+				}
+			}
 			if g := ev.gain(cand); g > bestGain {
 				best, bestGain = cand, g
 			}
@@ -40,6 +59,7 @@ func SGBGreedy(p *Problem, k int, opt Options) (*Result, error) {
 		}
 		ev.delete(best)
 		res.record(best, ev.totalSimilarity(), time.Since(start))
+		env.onStep(res)
 	}
 	res.PerTargetFinal = append([]int(nil), ev.similarities()...)
 	res.Elapsed = time.Since(start)
@@ -49,8 +69,8 @@ func SGBGreedy(p *Problem, k int, opt Options) (*Result, error) {
 // sgbLazy is SGB-Greedy with CELF lazy evaluation on top of the inverted
 // index. Submodularity guarantees cached upper bounds only shrink, so
 // popping the heap until the top is fresh yields the exact greedy choice.
-func sgbLazy(p *Problem, k int, opt Options) (*Result, error) {
-	ix, err := motif.NewIndex(p.Phase1(), p.Pattern, p.Targets)
+func sgbLazy(p *Problem, k int, opt Options, env runEnv) (*Result, error) {
+	ix, err := env.index(p)
 	if err != nil {
 		return nil, err
 	}
@@ -64,6 +84,7 @@ func sgbLazy(p *Problem, k int, opt Options) (*Result, error) {
 	heap.Init(h)
 
 	round := 0
+	refreshed := 0
 	for len(res.Protectors) < k && h.Len() > 0 {
 		top := h.items[0]
 		if top.round != round {
@@ -71,7 +92,16 @@ func sgbLazy(p *Problem, k int, opt Options) (*Result, error) {
 			h.items[0].gain = ix.Gain(top.edge)
 			h.items[0].round = round
 			heap.Fix(h, 0)
+			refreshed++
+			if refreshed%checkEvery == 0 {
+				if err := env.err(); err != nil {
+					return nil, err
+				}
+			}
 			continue
+		}
+		if err := env.err(); err != nil {
+			return nil, err
 		}
 		heap.Pop(h)
 		if top.gain == 0 {
@@ -79,6 +109,7 @@ func sgbLazy(p *Problem, k int, opt Options) (*Result, error) {
 		}
 		ix.DeleteEdge(top.edge)
 		res.record(top.edge, ix.TotalSimilarity(), time.Since(start))
+		env.onStep(res)
 		round++
 	}
 	res.PerTargetFinal = ix.Similarities()
@@ -121,7 +152,16 @@ func (h *gainHeap) Pop() interface{} {
 // budget. The greedy stops exactly when every remaining gain is zero,
 // which for this objective coincides with total similarity zero.
 func CriticalBudget(p *Problem, opt Options) (int, *Result, error) {
-	res, err := SGBGreedy(p, int(^uint(0)>>1), opt)
+	return criticalBudget(p, opt, runEnv{})
+}
+
+// CriticalBudgetCtx is CriticalBudget with cooperative cancellation.
+func CriticalBudgetCtx(ctx context.Context, p *Problem, opt Options) (int, *Result, error) {
+	return criticalBudget(p, opt, runEnv{ctx: ctx})
+}
+
+func criticalBudget(p *Problem, opt Options, env runEnv) (int, *Result, error) {
+	res, err := sgbGreedy(p, int(^uint(0)>>1), opt, env)
 	if err != nil {
 		return 0, nil, err
 	}
