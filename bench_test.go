@@ -435,6 +435,138 @@ func BenchmarkIndexDeleteEdge(b *testing.B) {
 	}
 }
 
+// edgeIDProblem builds the fixed instance the EdgeID refactor benchmarks
+// run on; BENCH_edgeid.json commits their before/after numbers.
+func edgeIDProblem(b *testing.B, scale int) (*graph.Graph, []graph.Edge) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(12))
+	g := datasets.DBLPSim(scale, 12).Graph
+	targets := datasets.SampleTargets(g, 16, rng)
+	work := g.Clone()
+	for _, t := range targets {
+		work.RemoveEdgeE(t)
+	}
+	return work, targets
+}
+
+// BenchmarkEdgeIDSelectionSteps measures the index-backed greedy inner loop
+// in isolation: reset the index, then run 25 argmax+delete selection steps.
+// This is the path the EdgeID refactor moves from per-step sorting to heap
+// maintenance.
+func BenchmarkEdgeIDSelectionSteps(b *testing.B) {
+	work, targets := edgeIDProblem(b, 1500)
+	ix, err := motif.NewIndex(work, motif.Rectangle, targets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Reset()
+		for k := 0; k < 25; k++ {
+			best, _, ok := ix.ArgmaxGain()
+			if !ok {
+				break
+			}
+			ix.DeleteEdge(best)
+		}
+	}
+}
+
+// BenchmarkEdgeIDArgmaxGain measures one argmax query on a fresh index.
+func BenchmarkEdgeIDArgmaxGain(b *testing.B) {
+	work, targets := edgeIDProblem(b, 1500)
+	ix, err := motif.NewIndex(work, motif.Rectangle, targets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := ix.ArgmaxGain(); !ok {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+// TestArgmaxGainStepSubLinear is the regression guard for the EdgeID
+// refactor: a greedy selection step must not scan or sort the candidate
+// set. It asserts (a) ArgmaxGain is allocation-free and (b) its cost grows
+// sub-linearly in the candidate count — the pre-refactor implementation
+// rebuilt and sorted the full candidate slice per step, which fails both.
+func TestArgmaxGainStepSubLinear(t *testing.T) {
+	build := func(nTargets int) *motif.Index {
+		rng := rand.New(rand.NewSource(12))
+		g := datasets.DBLPSim(2500, 12).Graph
+		targets := datasets.SampleTargets(g, nTargets, rng)
+		work := g.Clone()
+		for _, tgt := range targets {
+			work.RemoveEdgeE(tgt)
+		}
+		ix, err := motif.NewIndex(work, motif.Rectangle, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	small, big := build(8), build(64)
+
+	if allocs := testing.AllocsPerRun(100, func() { small.ArgmaxGain() }); allocs != 0 {
+		t.Fatalf("ArgmaxGain allocates %v objects/call; the heap-backed argmax must be allocation-free", allocs)
+	}
+
+	factor := float64(len(big.CandidateEdges())) / float64(len(small.CandidateEdges()))
+	if factor < 2 {
+		t.Skipf("candidate universe grew only %.1fx; instance too weak to discriminate", factor)
+	}
+	measure := func(ix *motif.Index) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, ok := ix.ArgmaxGain(); !ok {
+					b.Fatal("no candidates")
+				}
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	nsSmall, nsBig := measure(small), measure(big)
+	// Sub-linear: growing the candidate set by `factor` may cost at most
+	// half of `factor` in step time (the O(1) heap peek stays flat; the old
+	// O(E log E) sort scaled super-linearly).
+	if nsBig > nsSmall*factor/2 {
+		t.Fatalf("selection step cost scales with candidates: %.1fns -> %.1fns over a %.1fx universe",
+			nsSmall, nsBig, factor)
+	}
+}
+
+// BenchmarkEdgeIDGreedyEndToEnd measures a whole SGB selection (index build
+// plus selection) through the public tpp entry point.
+func BenchmarkEdgeIDGreedyEndToEnd(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	g := datasets.DBLPSim(1500, 12).Graph
+	targets := datasets.SampleTargets(g, 16, rng)
+	p, err := tpp.NewProblem(g, motif.Rectangle, targets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opt  tpp.Options
+	}{
+		{"indexed", tpp.Options{Engine: tpp.EngineIndexed, Scope: tpp.ScopeTargetSubgraphs}},
+		{"lazy", tpp.Options{Engine: tpp.EngineLazy, Scope: tpp.ScopeTargetSubgraphs}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tpp.SGBGreedy(p, 25, tc.opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkGraphPrimitives(b *testing.B) {
 	g := datasets.ArenasEmailSim(5).Graph
 	edges := g.Edges()

@@ -50,6 +50,8 @@ func run(args []string, errw io.Writer) error {
 		division    = fs.String("division", "tbd", "budget division for ct/wt: tbd or dbd")
 		k           = fs.Int("k", 0, "deletion budget (0 = critical budget k*)")
 		seed        = fs.Int64("seed", 1, "random seed for rd/rdt baselines")
+		workers     = fs.Int("workers", 0, "parallelism: index enumeration workers, and with -engine recount -method sgb the candidate-scan workers (0 = auto)")
+		engine      = fs.String("engine", "", "gain engine: lazy (default), indexed, recount")
 		report      = fs.Bool("report", true, "print a defense report against all link-prediction indices")
 		timeout     = fs.Duration("timeout", 0, "abort selection after this long (0 = no limit)")
 	)
@@ -109,12 +111,18 @@ func run(args []string, errw io.Writer) error {
 	if err != nil {
 		return err
 	}
+	eng, err := tpp.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
 	session, err := tpp.New(g, targetEdges,
 		tpp.WithPattern(pat),
 		tpp.WithMethod(m),
 		tpp.WithDivision(d),
+		tpp.WithEngine(eng),
 		tpp.WithBudget(*k),
 		tpp.WithSeed(*seed),
+		tpp.WithWorkers(*workers),
 	)
 	if err != nil {
 		return err

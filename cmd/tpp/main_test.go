@@ -80,6 +80,34 @@ func TestRunMethodsAndDivisions(t *testing.T) {
 	}
 }
 
+// TestRunEnginesAndWorkers drives the engine × workers matrix through the
+// CLI: every combination must succeed and report the same protection
+// outcome (selections are engine- and worker-independent).
+func TestRunEnginesAndWorkers(t *testing.T) {
+	in := writeTestGraph(t)
+	var want string
+	for _, engine := range []string{"lazy", "indexed", "recount"} {
+		for _, workers := range []string{"1", "4"} {
+			out := filepath.Join(t.TempDir(), "rel.txt")
+			var errw bytes.Buffer
+			err := run([]string{"-in", in, "-targets", "a-b", "-engine", engine,
+				"-workers", workers, "-out", out, "-report=false"}, &errw)
+			if err != nil {
+				t.Fatalf("engine %s workers %s: %v (stderr: %s)", engine, workers, err, errw.String())
+			}
+			raw, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == "" {
+				want = string(raw)
+			} else if string(raw) != want {
+				t.Fatalf("engine %s workers %s released a different graph", engine, workers)
+			}
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	in := writeTestGraph(t)
 	cases := [][]string{
@@ -91,7 +119,8 @@ func TestRunErrors(t *testing.T) {
 		{"-in", in, "-targets", "a-b", "-pattern", "Hexagon"},
 		{"-in", in, "-targets", "a-b", "-method", "bogus"},
 		{"-in", in, "-targets", "a-b", "-method", "ct", "-division", "bogus"},
-		{"-in", in, "-targets", "c-f"}, // not an edge
+		{"-in", in, "-targets", "a-b", "-engine", "warp"}, // unknown engine
+		{"-in", in, "-targets", "c-f"},                    // not an edge
 	}
 	for _, args := range cases {
 		var errw bytes.Buffer

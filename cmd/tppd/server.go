@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/datasets"
@@ -26,6 +28,27 @@ type Server struct {
 	maxTimeout time.Duration // server-side cap on per-request selection time
 	maxScale   int           // cap on dataset graph size a client may request
 	sem        chan struct{} // bounds concurrent selection runs
+	stats      serverStats
+}
+
+// serverStats aggregates the service's observability counters, served by
+// GET /v1/stats. All fields are atomics: requests mutate them concurrently.
+type serverStats struct {
+	totalRequests atomic.Int64 // protection requests accepted for processing
+	liveSessions  atomic.Int64 // tpp.Protector sessions currently running
+	indexBuilds   atomic.Int64 // motif index enumerations performed
+	enumNanos     atomic.Int64 // total wall-clock time spent enumerating
+	lastEnumNanos atomic.Int64 // duration of the most recent enumeration
+}
+
+// record folds one finished session into the aggregate counters.
+func (st *serverStats) record(session *tpp.Protector) {
+	if builds := int64(session.IndexBuilds()); builds > 0 {
+		st.indexBuilds.Add(builds)
+		ns := int64(session.IndexBuildTime())
+		st.enumNanos.Add(ns)
+		st.lastEnumNanos.Store(ns)
+	}
 }
 
 // defaultMaxScale admits the paper's full-size DBLP stand-in (317080
@@ -58,6 +81,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/protect", s.handleProtect)
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -79,8 +103,14 @@ type protectRequest struct {
 	Pattern  string `json:"pattern,omitempty"`  // Triangle (default), Rectangle, RecTri, Pentagon
 	Method   string `json:"method,omitempty"`   // sgb (default), ct, wt, rd, rdt
 	Division string `json:"division,omitempty"` // tbd (default), dbd
+	Engine   string `json:"engine,omitempty"`   // lazy (default), indexed, recount
 	Budget   int    `json:"budget,omitempty"`   // 0 = critical budget k*
 	Seed     int64  `json:"seed,omitempty"`     // rd/rdt randomness and target sampling
+	// Workers sets the selection parallelism: index enumeration workers,
+	// and for sgb under the recount engine the per-step candidate-scan
+	// workers (ct/wt scans stay serial). 0 = auto; values above the
+	// server's CPU count are clamped.
+	Workers int `json:"workers,omitempty"`
 
 	// TimeoutMS bounds this request's selection time; 0 uses the server
 	// cap. Values above the cap are clamped to it.
@@ -146,6 +176,16 @@ func (s *Server) handleProtect(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	engine, err := tpp.ParseEngine(req.Engine)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if req.Workers < 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("negative workers %d", req.Workers)})
+		return
+	}
 	if req.Dataset != nil && req.Dataset.Scale > s.maxScale {
 		writeJSON(w, http.StatusBadRequest, errorResponse{
 			Error: fmt.Sprintf("dataset scale %d exceeds server limit %d", req.Dataset.Scale, s.maxScale)})
@@ -197,15 +237,21 @@ func (s *Server) handleProtect(w http.ResponseWriter, r *http.Request) {
 		tpp.WithPattern(pattern),
 		tpp.WithMethod(method),
 		tpp.WithDivision(division),
+		tpp.WithEngine(engine),
 		tpp.WithBudget(req.Budget),
 		tpp.WithSeed(req.Seed),
+		tpp.WithWorkers(req.Workers),
 	)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 
+	s.stats.totalRequests.Add(1)
+	s.stats.liveSessions.Add(1)
 	res, err := session.Run(ctx)
+	s.stats.liveSessions.Add(-1)
+	s.stats.record(session)
 	if err != nil {
 		writeRunError(w, err)
 		return
@@ -237,6 +283,35 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 			{"name": "arenas-email", "description": "Arenas-email stand-in: 1133 nodes, ~5451 edges"},
 			{"name": "dblp", "description": "DBLP co-authorship stand-in; set scale for node count (default 2000)"},
 		},
+	})
+}
+
+// statsResponse is the wire form of GET /v1/stats: aggregate service
+// observability — how many protection requests ran, how many sessions are
+// live right now, how many motif-index enumerations were performed and how
+// long they took (enumeration dominates request cost, so these timings are
+// the service's main capacity signal).
+type statsResponse struct {
+	TotalRequests       int64   `json:"total_requests"`
+	LiveSessions        int64   `json:"live_sessions"`
+	IndexBuilds         int64   `json:"index_builds"`
+	EnumerationTotalMS  float64 `json:"enumeration_total_ms"`
+	EnumerationLastMS   float64 `json:"enumeration_last_ms"`
+	MaxWorkers          int     `json:"max_workers"`
+	MaxConcurrentInUse  int     `json:"max_concurrent_in_use"`
+	MaxConcurrentConfig int     `json:"max_concurrent_config"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		TotalRequests:       s.stats.totalRequests.Load(),
+		LiveSessions:        s.stats.liveSessions.Load(),
+		IndexBuilds:         s.stats.indexBuilds.Load(),
+		EnumerationTotalMS:  float64(s.stats.enumNanos.Load()) / 1e6,
+		EnumerationLastMS:   float64(s.stats.lastEnumNanos.Load()) / 1e6,
+		MaxWorkers:          runtime.GOMAXPROCS(0),
+		MaxConcurrentInUse:  len(s.sem),
+		MaxConcurrentConfig: cap(s.sem),
 	})
 }
 

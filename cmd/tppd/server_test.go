@@ -7,6 +7,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -268,6 +269,112 @@ func TestConcurrentRequests(t *testing.T) {
 	close(errs)
 	for e := range errs {
 		t.Fatalf("concurrent request failed: %s", e)
+	}
+}
+
+// TestProtectWithWorkers covers the parallel selection path end to end:
+// workers > 1 must succeed for every engine and select exactly the same
+// protectors as the serial run.
+func TestProtectWithWorkers(t *testing.T) {
+	ts := newTestServer(t)
+	var want *protectResponse
+	for _, tc := range []struct {
+		engine  string
+		workers int
+	}{
+		{"lazy", 1}, {"lazy", 4}, {"indexed", 4}, {"recount", 1}, {"recount", 4},
+	} {
+		resp, body := postProtect(t, ts, protectRequest{
+			Dataset:       &datasetSpec{Name: "dblp", Scale: 150, Seed: 4},
+			SampleTargets: 3,
+			Engine:        tc.engine,
+			Workers:       tc.workers,
+			OmitReleased:  true,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("engine %s workers %d: status %d: %s", tc.engine, tc.workers, resp.StatusCode, body)
+		}
+		var out protectResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = &out
+			continue
+		}
+		if !reflect.DeepEqual(out.Protectors, want.Protectors) {
+			t.Fatalf("engine %s workers %d: protectors %v, want %v",
+				tc.engine, tc.workers, out.Protectors, want.Protectors)
+		}
+	}
+	// Negative workers are a client mistake.
+	resp, body := postProtect(t, ts, protectRequest{
+		Edges:   quickstartEdges,
+		Targets: [][2]string{{"0", "5"}},
+		Workers: -2,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative workers: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	// Unknown engine spellings are rejected before any work.
+	resp, body = postProtect(t, ts, protectRequest{
+		Edges:   quickstartEdges,
+		Targets: [][2]string{{"0", "5"}},
+		Engine:  "warp",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown engine: status %d, want 400: %s", resp.StatusCode, body)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	readStats := func() statsResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/stats: status %d", resp.StatusCode)
+		}
+		var out statsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	before := readStats()
+	if before.TotalRequests != 0 || before.IndexBuilds != 0 || before.LiveSessions != 0 {
+		t.Fatalf("fresh server has non-zero stats: %+v", before)
+	}
+	if before.MaxConcurrentConfig != 2 || before.MaxWorkers < 1 {
+		t.Fatalf("static stats wrong: %+v", before)
+	}
+
+	resp, body := postProtect(t, ts, protectRequest{
+		Edges:        quickstartEdges,
+		Targets:      [][2]string{{"0", "5"}, {"2", "7"}},
+		OmitReleased: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("protect: status %d: %s", resp.StatusCode, body)
+	}
+
+	after := readStats()
+	if after.TotalRequests != 1 {
+		t.Fatalf("total_requests = %d, want 1", after.TotalRequests)
+	}
+	if after.IndexBuilds < 1 {
+		t.Fatalf("index_builds = %d, want >= 1", after.IndexBuilds)
+	}
+	if after.LiveSessions != 0 {
+		t.Fatalf("live_sessions = %d after request finished", after.LiveSessions)
+	}
+	if after.EnumerationTotalMS < 0 || after.EnumerationLastMS > after.EnumerationTotalMS {
+		t.Fatalf("enumeration timings inconsistent: %+v", after)
 	}
 }
 

@@ -13,6 +13,7 @@ package graph
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 )
 
@@ -263,15 +264,14 @@ func (g *Graph) EachEdge(fn func(e Edge) bool) {
 	}
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. Adjacency sets are copied with
+// maps.Clone, whose runtime fast path duplicates the table without
+// rehashing every key — cloning is on the request path (Problem.Phase1),
+// so this matters.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{adj: make([]map[NodeID]struct{}, len(g.adj)), edges: g.edges}
 	for i, m := range g.adj {
-		cm := make(map[NodeID]struct{}, len(m))
-		for w := range m {
-			cm[w] = struct{}{}
-		}
-		c.adj[i] = cm
+		c.adj[i] = maps.Clone(m)
 	}
 	return c
 }

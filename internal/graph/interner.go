@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// EdgeID is a dense integer id for an edge of a fixed graph snapshot,
+// assigned by an Interner. IDs run 0..NumEdges-1 in canonical lexicographic
+// edge order, so comparing two EdgeIDs is exactly comparing the edges with
+// Edge.Less — heap tie-breaks and sorted iteration by id reproduce the
+// library's canonical edge order for free.
+type EdgeID int32
+
+// NoEdge is the sentinel returned by Interner.ID for edges the interner
+// does not know about.
+const NoEdge EdgeID = -1
+
+// Interner is an immutable CSR-style edge table built once per graph
+// snapshot. It bidirectionally maps the snapshot's edges to dense EdgeIDs:
+// every per-edge quantity downstream (gains, deletion bits, instance
+// incidence lists) becomes a flat slice indexed by EdgeID instead of a
+// map[Edge], which is what makes the motif index cache-friendly.
+//
+// The interner describes the graph at build time; it is not invalidated by
+// later edge deletions (deleting edges is the TPP hot path, and a deleted
+// edge keeps its id). Edges added after the build are unknown and map to
+// NoEdge.
+type Interner struct {
+	rowStart []int32  // per node u: first id of the canonical edges (u, v), v > u
+	nbr      []NodeID // higher endpoint per id, ascending within each row
+	edges    []Edge   // id -> edge
+}
+
+// NewInterner builds the edge table for the current edges of g.
+// Ids are assigned in canonical lexicographic order: id(e1) < id(e2) iff
+// e1.Less(e2). The build is a counting sort on the lower endpoint (two
+// adjacency sweeps) followed by a per-row sort of the higher endpoints —
+// no comparison sort over the full edge list.
+func NewInterner(g *Graph) *Interner {
+	n := g.NumNodes()
+	m := g.NumEdges()
+	in := &Interner{
+		rowStart: make([]int32, n+1),
+		nbr:      make([]NodeID, m),
+		edges:    make([]Edge, m),
+	}
+	g.EachEdge(func(e Edge) bool {
+		in.rowStart[e.U+1]++
+		return true
+	})
+	for u := 0; u < n; u++ {
+		in.rowStart[u+1] += in.rowStart[u]
+	}
+	cursor := make([]int32, n)
+	copy(cursor, in.rowStart[:n])
+	g.EachEdge(func(e Edge) bool {
+		in.nbr[cursor[e.U]] = e.V
+		cursor[e.U]++
+		return true
+	})
+	for u := 0; u < n; u++ {
+		row := in.nbr[in.rowStart[u]:in.rowStart[u+1]]
+		slices.Sort(row)
+		base := int(in.rowStart[u])
+		for i, v := range row {
+			in.edges[base+i] = Edge{NodeID(u), v}
+		}
+	}
+	return in
+}
+
+// NewInternerFromEdges builds an edge table whose universe is exactly the
+// given edges — not necessarily all edges of a graph. edges must be
+// canonical, sorted ascending (Edge.Less) and free of duplicates; the
+// slice is retained. numNodes bounds the node ids that may appear. This is
+// the constructor for callers that discover their edge universe while
+// sweeping something cheaper than the whole graph (e.g. the motif index
+// interning only the edges of enumerated instances).
+func NewInternerFromEdges(numNodes int, edges []Edge) *Interner {
+	in := &Interner{
+		rowStart: make([]int32, numNodes+1),
+		nbr:      make([]NodeID, len(edges)),
+		edges:    edges,
+	}
+	for i, e := range edges {
+		if i > 0 && !edges[i-1].Less(e) {
+			panic(fmt.Sprintf("graph: edge list not sorted/unique at %d: %v !< %v", i, edges[i-1], e))
+		}
+		in.nbr[i] = e.V
+		in.rowStart[e.U+1]++
+	}
+	for u := 0; u < numNodes; u++ {
+		in.rowStart[u+1] += in.rowStart[u]
+	}
+	return in
+}
+
+// NumEdges returns the number of interned edges.
+func (in *Interner) NumEdges() int { return len(in.edges) }
+
+// ID returns the dense id of e, or NoEdge when e was not an edge of the
+// snapshot. Non-canonical e is canonicalised first. The lookup is a binary
+// search within e.U's neighbor row — O(log deg), no hashing.
+func (in *Interner) ID(e Edge) EdgeID {
+	if !e.Canonical() {
+		if e.U == e.V {
+			return NoEdge
+		}
+		e = Edge{e.V, e.U}
+	}
+	if int(e.U) >= len(in.rowStart)-1 || e.U < 0 {
+		return NoEdge
+	}
+	lo, hi := in.rowStart[e.U], in.rowStart[e.U+1]
+	row := in.nbr[lo:hi]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= e.V })
+	if i < len(row) && row[i] == e.V {
+		return EdgeID(lo) + EdgeID(i)
+	}
+	return NoEdge
+}
+
+// Edge returns the edge with the given id. It panics on ids outside
+// [0, NumEdges).
+func (in *Interner) Edge(id EdgeID) Edge {
+	if id < 0 || int(id) >= len(in.edges) {
+		panic(fmt.Sprintf("graph: edge id %d out of range [0,%d)", id, len(in.edges)))
+	}
+	return in.edges[id]
+}
+
+// Edges converts a slice of ids to edges in one pass.
+func (in *Interner) Edges(ids []EdgeID) []Edge {
+	out := make([]Edge, len(ids))
+	for i, id := range ids {
+		out[i] = in.Edge(id)
+	}
+	return out
+}

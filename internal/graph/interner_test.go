@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInternerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := New(60)
+	for i := 0; i < 400; i++ {
+		u := NodeID(rng.Intn(60))
+		v := NodeID(rng.Intn(60))
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	in := NewInterner(g)
+	if in.NumEdges() != g.NumEdges() {
+		t.Fatalf("interner has %d edges, graph has %d", in.NumEdges(), g.NumEdges())
+	}
+	edges := g.Edges() // canonical lexicographic order
+	for i, e := range edges {
+		id := in.ID(e)
+		if id != EdgeID(i) {
+			t.Fatalf("ID(%v) = %d, want %d (ids must follow canonical order)", e, id, i)
+		}
+		if got := in.Edge(id); got != e {
+			t.Fatalf("Edge(%d) = %v, want %v", id, got, e)
+		}
+		// Non-canonical query resolves to the same id.
+		if got := in.ID(Edge{e.V, e.U}); got != id {
+			t.Fatalf("ID(%v reversed) = %d, want %d", e, got, id)
+		}
+	}
+}
+
+func TestInternerUnknownEdges(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	in := NewInterner(g)
+	for _, e := range []Edge{{0, 2}, {1, 3}, {0, 3}, {1, 1}, {-1, 2}, {0, 99}} {
+		if id := in.ID(e); id != NoEdge {
+			t.Fatalf("ID(%v) = %d, want NoEdge", e, id)
+		}
+	}
+	// Edges added after the build are unknown by design.
+	g.AddEdge(0, 2)
+	if id := in.ID(Edge{0, 2}); id != NoEdge {
+		t.Fatalf("post-build edge interned to %d, want NoEdge", id)
+	}
+}
+
+func TestInternerEdgePanicsOutOfRange(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	in := NewInterner(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Edge(NoEdge) did not panic")
+		}
+	}()
+	in.Edge(NoEdge)
+}
+
+func TestInternerEdges(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	in := NewInterner(g)
+	got := in.Edges([]EdgeID{2, 0})
+	if len(got) != 2 || got[0] != (Edge{2, 3}) || got[1] != (Edge{0, 1}) {
+		t.Fatalf("Edges = %v", got)
+	}
+}

@@ -2,7 +2,11 @@ package motif
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -15,64 +19,229 @@ import (
 //
 //   - per-target alive-instance counts (the similarities s(P, t)),
 //   - per-edge marginal gains (how many alive instances an edge breaks),
-//   - the restricted candidate set of Lemma 5 (edges with positive gain).
+//   - the restricted candidate set of Lemma 5 (edges with positive gain),
+//   - an indexed max-heap over the gains, so the greedy argmax is a peek.
 //
 // Deleting edges can only destroy instances, never create them (this is the
 // monotonicity of f), so one up-front enumeration is complete.
+//
+// Every per-edge quantity is a flat slice indexed by graph.EdgeID — dense
+// ids interned once from the phase-1 graph — instead of a map[graph.Edge]:
+// the edge→instance incidence lists are a CSR table, deletions are a bitset,
+// and gains live in a slice mirrored by the heap. The hot paths (GainID,
+// DeleteEdgeID, ArgmaxGainID, AppendCandidateIDs) therefore perform no
+// hashing, no sorting and no allocation. The Edge-keyed methods remain as
+// thin wrappers that resolve the id first (a binary search in the
+// interner's CSR row, not a map lookup).
 type Index struct {
 	pattern Pattern
 	targets []graph.Edge
+	in      *graph.Interner
 
-	inst      []indexedInstance
-	edgeInst  map[graph.Edge][]int32 // edge -> instance IDs containing it
-	gain      map[graph.Edge]int     // edge -> alive instances containing it
-	perTarget []int                  // s(P, t) per target
-	alive     int                    // Σ_t s(P, t)
-	deleted   map[graph.Edge]bool    // protector edges already deleted
+	inst []indexedInstance
+
+	// CSR incidence table: instIDs[instStart[id]:instStart[id+1]] are the
+	// instances containing edge id. Built once; never mutated. The interned
+	// universe is exactly the touched edges (the paper's W-edge set), so
+	// every id has at least one incidence.
+	instStart []int32
+	instIDs   []int32
+
+	gain      []int32  // id -> alive instances containing the edge
+	deleted   []uint64 // bitset by id: protector edges already deleted
+	nDeleted  int
+	perTarget []int // s(P, t) per target
+	alive     int   // Σ_t s(P, t)
+
+	// Indexed max-heap over the whole interned universe ordered by
+	// (gain desc, id asc). Gains only decrease under deletion, so
+	// maintenance is sift-down only; entries are never removed — spent
+	// edges sink with gain 0 and ArgmaxGain stops at a zero top.
+	heap    []graph.EdgeID
+	heapPos []int32 // id -> position in heap (every id is always present)
+
+	stats BuildStats
 }
 
+// indexedInstance is one enumerated target subgraph, stored compactly: the
+// owning target and up to four interned edge ids.
 type indexedInstance struct {
 	target int32
-	edges  [4]graph.Edge
+	edges  [4]graph.EdgeID
 	ne     uint8
 	dead   bool
 }
 
-// NewIndex builds the index for the given pattern and targets. g must be
-// the phase-1 graph (targets already removed); NewIndex returns an error if
-// any target link is still present, because that violates the TPP model
-// (phase 1 precedes phase 2) and would make W_t sets overlap.
+// BuildStats describes one index construction, for observability: how many
+// workers enumerated, how many instances they found, and how long the
+// enumeration (the dominant cost of a protection request) took.
+type BuildStats struct {
+	Workers   int
+	Instances int
+	Elapsed   time.Duration
+}
+
+// NewIndex builds the index for the given pattern and targets, enumerating
+// with one worker per CPU. g must be the phase-1 graph (targets already
+// removed); NewIndex returns an error if any target link is still present,
+// because that violates the TPP model (phase 1 precedes phase 2) and would
+// make W_t sets overlap.
 func NewIndex(g *graph.Graph, pattern Pattern, targets []graph.Edge) (*Index, error) {
+	return NewIndexWorkers(g, pattern, targets, 0)
+}
+
+// rawInstance is a worker-local enumeration record, merged into the index
+// deterministically by target order. It stores edges, not ids: the edge
+// universe is only known once every instance has been enumerated.
+type rawInstance struct {
+	edges [4]graph.Edge
+	ne    uint8
+}
+
+// packEdge encodes a canonical edge as a uint64 whose numeric order equals
+// Edge.Less, so sorting packed edges is sorting edges.
+func packEdge(e graph.Edge) uint64 {
+	return uint64(uint32(e.U))<<32 | uint64(uint32(e.V))
+}
+
+func unpackEdge(p uint64) graph.Edge {
+	return graph.Edge{U: graph.NodeID(p >> 32), V: graph.NodeID(uint32(p))}
+}
+
+// NewIndexWorkers is NewIndex with an explicit enumeration worker count
+// (<= 0 selects GOMAXPROCS). Targets are sharded across the workers with
+// per-worker instance buffers merged in target order, so the resulting
+// index — and every selection made from it — is identical for any worker
+// count.
+func NewIndexWorkers(g *graph.Graph, pattern Pattern, targets []graph.Edge, workers int) (*Index, error) {
+	start := time.Now()
 	for _, t := range targets {
 		if g.HasEdgeE(t) {
 			return nil, fmt.Errorf("motif: target %v still present in graph; remove all targets (phase 1) before indexing", t)
 		}
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
 	ix := &Index{
 		pattern:   pattern,
 		targets:   append([]graph.Edge(nil), targets...),
-		edgeInst:  make(map[graph.Edge][]int32),
-		gain:      make(map[graph.Edge]int),
 		perTarget: make([]int, len(targets)),
-		deleted:   make(map[graph.Edge]bool),
 	}
-	for i, t := range targets {
-		ti := int32(i)
-		EnumerateTarget(g, pattern, t, func(edges []graph.Edge) {
-			id := int32(len(ix.inst))
-			var in indexedInstance
-			in.target = ti
-			in.ne = uint8(len(edges))
-			copy(in.edges[:], edges)
-			ix.inst = append(ix.inst, in)
-			for _, e := range edges {
-				ix.edgeInst[e] = append(ix.edgeInst[e], id)
-				ix.gain[e]++
-			}
-			ix.perTarget[i]++
-			ix.alive++
+
+	// Enumerate per target into private buffers. Workers claim targets off
+	// an atomic cursor (reads of g are concurrency-safe); worker count never
+	// changes the per-target instance sets, only who finds them.
+	byTarget := make([][]rawInstance, len(targets))
+	enumerate := func(ti int) {
+		var buf []rawInstance
+		EnumerateTarget(g, pattern, targets[ti], func(edges []graph.Edge) {
+			var r rawInstance
+			r.ne = uint8(len(edges))
+			copy(r.edges[:], edges)
+			buf = append(buf, r)
 		})
+		byTarget[ti] = buf
 	}
+	if workers == 1 {
+		for ti := range targets {
+			enumerate(ti)
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ti := int(cursor.Add(1)) - 1
+					if ti >= len(targets) {
+						return
+					}
+					enumerate(ti)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Intern the touched edge universe: exactly the edges appearing in some
+	// instance (the paper's W-edge set). Sorting the packed incidences once
+	// replaces any full-graph sweep — the graph's adjacency maps are never
+	// iterated wholesale, which is what keeps index construction cheap on
+	// large sparse graphs.
+	total := 0
+	incidences := 0
+	for _, buf := range byTarget {
+		total += len(buf)
+		for _, r := range buf {
+			incidences += int(r.ne)
+		}
+	}
+	packed := make([]uint64, 0, incidences)
+	for _, buf := range byTarget {
+		for _, r := range buf {
+			for _, e := range r.edges[:r.ne] {
+				packed = append(packed, packEdge(e))
+			}
+		}
+	}
+	slices.Sort(packed)
+	packed = slices.Compact(packed)
+	universe := make([]graph.Edge, len(packed))
+	for i, p := range packed {
+		universe[i] = unpackEdge(p)
+	}
+	in := graph.NewInternerFromEdges(g.NumNodes(), universe)
+	ix.in = in
+
+	// Deterministic merge: instances land in target order regardless of
+	// which worker enumerated them, edges resolved to ids.
+	ne := in.NumEdges()
+	ix.gain = make([]int32, ne)
+	ix.inst = make([]indexedInstance, 0, total)
+	for ti, buf := range byTarget {
+		for _, r := range buf {
+			inst := indexedInstance{target: int32(ti), ne: r.ne}
+			for j, e := range r.edges[:r.ne] {
+				id := in.ID(e)
+				inst.edges[j] = id
+				ix.gain[id]++
+			}
+			ix.inst = append(ix.inst, inst)
+		}
+		ix.perTarget[ti] = len(buf)
+		ix.alive += len(buf)
+	}
+
+	// Build the CSR incidence table: initial gains double as row lengths.
+	ix.deleted = make([]uint64, (ne+63)/64)
+	ix.instStart = make([]int32, ne+1)
+	for id := 0; id < ne; id++ {
+		ix.instStart[id+1] = ix.instStart[id] + ix.gain[id]
+	}
+	ix.instIDs = make([]int32, ix.instStart[ne])
+	cursor := make([]int32, ne)
+	copy(cursor, ix.instStart[:ne])
+	for i := range ix.inst {
+		inst := &ix.inst[i]
+		for _, id := range inst.edges[:inst.ne] {
+			ix.instIDs[cursor[id]] = int32(i)
+			cursor[id]++
+		}
+	}
+
+	ix.heapPos = make([]int32, ne)
+	ix.heapInit()
+	ix.stats = BuildStats{Workers: workers, Instances: total, Elapsed: time.Since(start)}
 	return ix, nil
 }
 
@@ -81,6 +250,14 @@ func (ix *Index) Pattern() Pattern { return ix.pattern }
 
 // Targets returns the target list (do not mutate).
 func (ix *Index) Targets() []graph.Edge { return ix.targets }
+
+// Interner returns the edge table the index was built over: the dense
+// EdgeID universe of the phase-1 graph. Callers use it to translate between
+// EdgeIDs and edges at API boundaries.
+func (ix *Index) Interner() *graph.Interner { return ix.in }
+
+// BuildStats reports how the index was constructed.
+func (ix *Index) BuildStats() BuildStats { return ix.stats }
 
 // NumInstances returns the total number of enumerated target subgraphs
 // (alive or dead), i.e. s(∅, T).
@@ -97,18 +274,33 @@ func (ix *Index) Similarities() []int {
 	return append([]int(nil), ix.perTarget...)
 }
 
-// Gain returns Δ_p: the number of alive instances the deletion of p would
-// break (its exact marginal dissimilarity gain — exact because f is
-// modular-per-instance once the instance set is fixed).
-func (ix *Index) Gain(p graph.Edge) int { return ix.gain[p] }
+// isDeleted reads the deletion bit of id.
+func (ix *Index) isDeleted(id graph.EdgeID) bool {
+	return ix.deleted[uint(id)/64]&(1<<(uint(id)%64)) != 0
+}
 
-// GainForTarget splits Δ_p^t for CT/WT greedy: within = alive instances of
-// target ti containing p; total = alive instances of any target containing
-// p. The paper's Δ_p^t = within + (total − within)/C; with C large this is
-// a lexicographic (within, total) ordering, which is how we compare.
-func (ix *Index) GainForTarget(p graph.Edge, ti int) (within, total int) {
-	for _, id := range ix.edgeInst[p] {
-		in := &ix.inst[id]
+// GainID returns Δ_p for the edge with the given id: the number of alive
+// instances its deletion would break (exact because f is modular-per-
+// instance once the instance set is fixed). A deleted edge's gain is 0.
+func (ix *Index) GainID(id graph.EdgeID) int { return int(ix.gain[id]) }
+
+// Gain is GainID keyed by edge; unknown edges have zero gain.
+func (ix *Index) Gain(p graph.Edge) int {
+	id := ix.in.ID(p)
+	if id == graph.NoEdge {
+		return 0
+	}
+	return int(ix.gain[id])
+}
+
+// GainForTargetID splits Δ_p^t for CT/WT greedy: within = alive instances
+// of target ti containing the edge; total = alive instances of any target
+// containing it. The paper's Δ_p^t = within + (total − within)/C; with C
+// large this is a lexicographic (within, total) ordering, which is how we
+// compare.
+func (ix *Index) GainForTargetID(id graph.EdgeID, ti int) (within, total int) {
+	for _, instID := range ix.instIDs[ix.instStart[id]:ix.instStart[id+1]] {
+		in := &ix.inst[instID]
 		if in.dead {
 			continue
 		}
@@ -120,40 +312,76 @@ func (ix *Index) GainForTarget(p graph.Edge, ti int) (within, total int) {
 	return within, total
 }
 
+// GainForTarget is GainForTargetID keyed by edge.
+func (ix *Index) GainForTarget(p graph.Edge, ti int) (within, total int) {
+	id := ix.in.ID(p)
+	if id == graph.NoEdge {
+		return 0, 0
+	}
+	return ix.GainForTargetID(id, ti)
+}
+
+// GainVectorIDInto writes the per-target marginal gains of deleting the
+// edge into buf (len(buf) must be the target count) and returns (buf,
+// total), or (nil, 0) when the edge touches no alive instance — without
+// allocating either way. buf is only zeroed when the edge is live, so
+// callers must not read it when nil is returned.
+func (ix *Index) GainVectorIDInto(id graph.EdgeID, buf []int) (perTarget []int, total int) {
+	for _, instID := range ix.instIDs[ix.instStart[id]:ix.instStart[id+1]] {
+		in := &ix.inst[instID]
+		if in.dead {
+			continue
+		}
+		if total == 0 {
+			for i := range buf {
+				buf[i] = 0
+			}
+		}
+		buf[in.target]++
+		total++
+	}
+	if total == 0 {
+		return nil, 0
+	}
+	return buf, total
+}
+
 // GainVector returns the per-target marginal gains of deleting p (alive
 // instances of each target containing p, indexed by target position) plus
 // the total. The slice is freshly allocated only when p touches at least
 // one alive instance; otherwise it returns (nil, 0).
 func (ix *Index) GainVector(p graph.Edge) (perTarget []int, total int) {
-	for _, id := range ix.edgeInst[p] {
-		in := &ix.inst[id]
-		if in.dead {
-			continue
-		}
-		if perTarget == nil {
-			perTarget = make([]int, len(ix.targets))
-		}
-		perTarget[in.target]++
-		total++
+	id := ix.in.ID(p)
+	if id == graph.NoEdge {
+		return nil, 0
 	}
-	return perTarget, total
+	return ix.GainVectorIDInto(id, make([]int, len(ix.targets)))
 }
 
-// Deleted reports whether p was already deleted through the index.
-func (ix *Index) Deleted(p graph.Edge) bool { return ix.deleted[p] }
+// DeletedID reports whether the edge with the given id was already deleted
+// through the index.
+func (ix *Index) DeletedID(id graph.EdgeID) bool { return ix.isDeleted(id) }
 
-// DeleteEdge records the deletion of protector p, killing every alive
-// instance containing it and updating all affected per-edge gains. It
-// returns the number of instances broken (the realised Δf). Deleting an
-// edge twice is an error in the caller; the second call returns 0.
-func (ix *Index) DeleteEdge(p graph.Edge) int {
-	if ix.deleted[p] {
+// Deleted is DeletedID keyed by edge.
+func (ix *Index) Deleted(p graph.Edge) bool {
+	id := ix.in.ID(p)
+	return id != graph.NoEdge && ix.isDeleted(id)
+}
+
+// DeleteEdgeID records the deletion of the protector with the given id,
+// killing every alive instance containing it and updating all affected
+// per-edge gains and their heap entries. It returns the number of instances
+// broken (the realised Δf). Deleting an edge twice is an error in the
+// caller; the second call returns 0.
+func (ix *Index) DeleteEdgeID(id graph.EdgeID) int {
+	if ix.isDeleted(id) {
 		return 0
 	}
-	ix.deleted[p] = true
+	ix.deleted[uint(id)/64] |= 1 << (uint(id) % 64)
+	ix.nDeleted++
 	broken := 0
-	for _, id := range ix.edgeInst[p] {
-		in := &ix.inst[id]
+	for _, instID := range ix.instIDs[ix.instStart[id]:ix.instStart[id+1]] {
+		in := &ix.inst[instID]
 		if in.dead {
 			continue
 		}
@@ -163,61 +391,80 @@ func (ix *Index) DeleteEdge(p graph.Edge) int {
 		ix.alive--
 		for _, e := range in.edges[:in.ne] {
 			ix.gain[e]--
+			// Only this entry's key shrank, so one sift-down restores the
+			// heap property (a parent can only have grown relatively).
+			ix.heapSiftDown(int(ix.heapPos[e]))
 		}
 	}
 	return broken
 }
 
-// Reset revives every instance and restores the build-time gains and
+// DeleteEdge is DeleteEdgeID keyed by edge; unknown edges are a no-op.
+func (ix *Index) DeleteEdge(p graph.Edge) int {
+	id := ix.in.ID(p)
+	if id == graph.NoEdge {
+		return 0
+	}
+	return ix.DeleteEdgeID(id)
+}
+
+// Reset revives every instance and restores the build-time gains, heap and
 // per-target similarities, clearing all recorded deletions. It costs
-// O(total instance-edge incidences) — far cheaper than the subgraph
-// enumeration NewIndex performs — which is what makes one index reusable
-// across repeated selection runs on the same graph, targets and pattern.
+// O(E + instances) — far cheaper than the subgraph enumeration NewIndex
+// performs — which is what makes one index reusable across repeated
+// selection runs on the same graph, targets and pattern.
 func (ix *Index) Reset() {
-	if len(ix.deleted) == 0 {
+	if ix.nDeleted == 0 {
 		return
 	}
 	clear(ix.deleted)
-	clear(ix.gain)
+	ix.nDeleted = 0
+	// Build-time gain of an edge is exactly its CSR row length.
+	for id := range ix.gain {
+		ix.gain[id] = ix.instStart[id+1] - ix.instStart[id]
+	}
 	for i := range ix.perTarget {
 		ix.perTarget[i] = 0
 	}
-	ix.alive = 0
 	for i := range ix.inst {
 		in := &ix.inst[i]
 		in.dead = false
 		ix.perTarget[in.target]++
-		ix.alive++
-		for _, e := range in.edges[:in.ne] {
-			ix.gain[e]++
-		}
 	}
+	ix.alive = len(ix.inst)
+	ix.heapInit()
 }
 
-// CandidateEdges returns the Lemma 5 restricted protector set: every edge
-// that currently participates in at least one alive target subgraph, in
+// AppendCandidateIDs appends the Lemma 5 restricted protector set — every
+// edge currently participating in at least one alive target subgraph — to
+// buf in ascending id (canonical) order and returns it. A deleted edge
+// always has zero gain, so the gain filter alone is the full condition.
+// With a reused buf the iteration allocates nothing.
+func (ix *Index) AppendCandidateIDs(buf []graph.EdgeID) []graph.EdgeID {
+	for id := range ix.gain {
+		if ix.gain[id] > 0 {
+			buf = append(buf, graph.EdgeID(id))
+		}
+	}
+	return buf
+}
+
+// CandidateEdges returns the Lemma 5 restricted protector set as edges, in
 // canonical order. Edges outside this set have zero marginal gain forever
 // (monotone decrease), so greedy never needs to inspect them.
 func (ix *Index) CandidateEdges() []graph.Edge {
-	out := make([]graph.Edge, 0, len(ix.gain))
-	for e, gn := range ix.gain {
-		if gn > 0 && !ix.deleted[e] {
-			out = append(out, e)
-		}
-	}
-	graph.SortEdges(out)
-	return out
+	ids := ix.AppendCandidateIDs(make([]graph.EdgeID, 0, ix.in.NumEdges()))
+	return ix.in.Edges(ids)
 }
 
 // AllTouchedEdges returns every edge that participated in any instance at
 // build time (alive or not), in canonical order. This is the paper's W-edge
-// universe used by the RDT baseline.
+// universe used by the RDT baseline — exactly the interned universe.
 func (ix *Index) AllTouchedEdges() []graph.Edge {
-	out := make([]graph.Edge, 0, len(ix.edgeInst))
-	for e := range ix.edgeInst {
-		out = append(out, e)
+	out := make([]graph.Edge, ix.in.NumEdges())
+	for id := range out {
+		out[id] = ix.in.Edge(graph.EdgeID(id))
 	}
-	graph.SortEdges(out)
 	return out
 }
 
@@ -230,32 +477,87 @@ func (ix *Index) InstancesOfTarget(ti int) []Instance {
 		if in.dead || int(in.target) != ti {
 			continue
 		}
-		out = append(out, Instance{
-			Target: in.target,
-			Edges:  append([]graph.Edge(nil), in.edges[:in.ne]...),
-		})
+		edges := make([]graph.Edge, in.ne)
+		for j, id := range in.edges[:in.ne] {
+			edges[j] = ix.in.Edge(id)
+		}
+		out = append(out, Instance{Target: in.target, Edges: edges})
 	}
 	return out
 }
 
-// ArgmaxGain returns the undeleted edge with the highest gain, breaking
-// ties by canonical edge order for determinism, plus its gain. ok is false
-// when every remaining gain is zero.
-func (ix *Index) ArgmaxGain() (best graph.Edge, bestGain int, ok bool) {
-	edges := make([]graph.Edge, 0, len(ix.gain))
-	for e, gn := range ix.gain {
-		if gn > 0 && !ix.deleted[e] {
-			edges = append(edges, e)
-		}
+// ArgmaxGainID returns the id of the undeleted edge with the highest gain —
+// ties broken by id, i.e. canonical edge order — plus its gain. It is a
+// heap peek: O(1), allocation-free; the O(log E) maintenance happened in
+// DeleteEdgeID. ok is false when every remaining gain is zero.
+func (ix *Index) ArgmaxGainID() (best graph.EdgeID, bestGain int, ok bool) {
+	if len(ix.heap) == 0 {
+		return 0, 0, false
 	}
-	if len(edges) == 0 {
+	top := ix.heap[0]
+	if g := ix.gain[top]; g > 0 {
+		return top, int(g), true
+	}
+	return 0, 0, false
+}
+
+// ArgmaxGain is ArgmaxGainID keyed by edge.
+func (ix *Index) ArgmaxGain() (best graph.Edge, bestGain int, ok bool) {
+	id, g, ok := ix.ArgmaxGainID()
+	if !ok {
 		return graph.Edge{}, 0, false
 	}
-	sort.Slice(edges, func(i, j int) bool { return edges[i].Less(edges[j]) })
-	for _, e := range edges {
-		if gn := ix.gain[e]; gn > bestGain {
-			best, bestGain = e, gn
-		}
+	return ix.in.Edge(id), g, true
+}
+
+// ---------------------------------------------------------------------------
+// Indexed max-heap over gains: heap[] holds touched edge ids ordered by
+// (gain desc, id asc); heapPos[] is the inverse permutation so a gain
+// decrease can be fixed in place with a sift-down.
+
+// heapBetter reports whether a outranks b.
+func (ix *Index) heapBetter(a, b graph.EdgeID) bool {
+	ga, gb := ix.gain[a], ix.gain[b]
+	if ga != gb {
+		return ga > gb
 	}
-	return best, bestGain, true
+	return a < b
+}
+
+// heapInit (re)builds the heap over the whole interned universe in O(E).
+func (ix *Index) heapInit() {
+	ix.heap = ix.heap[:0]
+	for id := range ix.gain {
+		ix.heap = append(ix.heap, graph.EdgeID(id))
+		ix.heapPos[id] = int32(id)
+	}
+	for i := len(ix.heap)/2 - 1; i >= 0; i-- {
+		ix.heapSiftDown(i)
+	}
+}
+
+func (ix *Index) heapSwap(i, j int) {
+	h := ix.heap
+	h[i], h[j] = h[j], h[i]
+	ix.heapPos[h[i]] = int32(i)
+	ix.heapPos[h[j]] = int32(j)
+}
+
+func (ix *Index) heapSiftDown(i int) {
+	n := len(ix.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && ix.heapBetter(ix.heap[r], ix.heap[l]) {
+			best = r
+		}
+		if !ix.heapBetter(ix.heap[best], ix.heap[i]) {
+			return
+		}
+		ix.heapSwap(i, best)
+		i = best
+	}
 }

@@ -63,6 +63,8 @@ func ctGreedy(p *Problem, budgets []int, opt Options, env runEnv) (*Result, erro
 	start := time.Now()
 	res := newResult(opt.VariantName("CT-Greedy"), ev.totalSimilarity())
 	used := make([]int, len(budgets))
+	var cands []graph.EdgeID
+	gvBuf := make([]int, len(p.Targets))
 	for {
 		if err := env.err(); err != nil {
 			return nil, err
@@ -77,16 +79,17 @@ func ctGreedy(p *Problem, budgets []int, opt Options, env runEnv) (*Result, erro
 		if !remaining {
 			break
 		}
-		var bestEdge graph.Edge
+		bestEdge := graph.NoEdge
 		bestTarget := -1
 		var best targetGain
-		for i, cand := range ev.candidates() {
+		cands = ev.candidates(cands[:0])
+		for i, cand := range cands {
 			if i%checkEvery == checkEvery-1 {
 				if err := env.err(); err != nil {
 					return nil, err
 				}
 			}
-			delta, tot := ev.gainVector(cand)
+			delta, tot := ev.gainVector(cand, gvBuf)
 			for ti := range p.Targets {
 				if used[ti] >= budgets[ti] {
 					continue
@@ -106,7 +109,7 @@ func ctGreedy(p *Problem, budgets []int, opt Options, env runEnv) (*Result, erro
 		}
 		used[bestTarget]++
 		ev.delete(bestEdge)
-		res.record(bestEdge, ev.totalSimilarity(), time.Since(start))
+		res.record(ev.interner().Edge(bestEdge), ev.totalSimilarity(), time.Since(start))
 		env.onStep(res)
 	}
 	res.PerTargetFinal = append([]int(nil), ev.similarities()...)
@@ -143,21 +146,24 @@ func wtGreedy(p *Problem, budgets []int, opt Options, env runEnv) (*Result, erro
 		res.Elapsed = time.Since(start)
 		return res, nil
 	}
+	var cands []graph.EdgeID
+	gvBuf := make([]int, len(p.Targets))
 	for ti := range p.Targets {
 		for b := 0; b < budgets[ti]; b++ {
 			if err := env.err(); err != nil {
 				return nil, err
 			}
-			var bestEdge graph.Edge
+			bestEdge := graph.NoEdge
 			var best targetGain
 			found := false
-			for i, cand := range ev.candidates() {
+			cands = ev.candidates(cands[:0])
+			for i, cand := range cands {
 				if i%checkEvery == checkEvery-1 {
 					if err := env.err(); err != nil {
 						return nil, err
 					}
 				}
-				delta, tot := ev.gainVector(cand)
+				delta, tot := ev.gainVector(cand, gvBuf)
 				w := 0
 				if delta != nil {
 					w = delta[ti]
@@ -174,7 +180,7 @@ func wtGreedy(p *Problem, budgets []int, opt Options, env runEnv) (*Result, erro
 				return finish()
 			}
 			ev.delete(bestEdge)
-			res.record(bestEdge, ev.totalSimilarity(), time.Since(start))
+			res.record(ev.interner().Edge(bestEdge), ev.totalSimilarity(), time.Since(start))
 			env.onStep(res)
 		}
 	}

@@ -79,33 +79,50 @@ func (o Options) VariantName(base string) string {
 
 // evaluator is the internal gain oracle shared by the greedy algorithms.
 // Both implementations agree exactly on every gain value; they differ only
-// in cost.
+// in cost. It is keyed by dense graph.EdgeID throughout — ids are interned
+// once from the phase-1 graph and ascend in canonical edge order, so the
+// greedy loops sort nothing and hash nothing; results convert back to
+// graph.Edge via interner() only at the Result boundary.
 type evaluator interface {
 	// totalSimilarity returns Σ_t s(P, t) in the current state.
 	totalSimilarity() int
 	// similarities returns the live per-target similarity slice (read-only).
 	similarities() []int
+	// interner translates between EdgeIDs and edges; all evaluators for the
+	// same problem intern the same phase-1 edge universe, so ids agree
+	// across engines.
+	interner() *graph.Interner
 	// gain returns Δ_p for the current state.
-	gain(p graph.Edge) int
-	// gainVector returns the per-target gains of p (nil when p breaks
-	// nothing) and the total — one evaluation serves every (t, p) pair, the
-	// key to the paper's O(knm log²N) bound for CT/WT-Greedy.
-	gainVector(p graph.Edge) (perTarget []int, total int)
-	// candidates returns the current candidate protector edges in canonical
-	// order, honouring the scope.
-	candidates() []graph.Edge
+	gain(p graph.EdgeID) int
+	// gainVector writes the per-target gains of p into buf (len = target
+	// count) and returns (buf, total), or (nil, 0) when p breaks nothing —
+	// one evaluation serves every (t, p) pair, the key to the paper's
+	// O(knm log²N) bound for CT/WT-Greedy.
+	gainVector(p graph.EdgeID, buf []int) (perTarget []int, total int)
+	// candidates appends the current candidate protector ids to buf in
+	// ascending (canonical) order, honouring the scope, and returns it.
+	candidates(buf []graph.EdgeID) []graph.EdgeID
 	// delete commits the deletion of p, returning the realised gain.
-	delete(p graph.Edge) int
+	delete(p graph.EdgeID) int
+}
+
+// argmaxEvaluator is the optional fast path for SGB: evaluators backed by
+// the motif index answer the per-step argmax from their gain heap in O(1)
+// instead of a candidate scan. The heap's (gain desc, id asc) order equals
+// the scan's tie-break, so selections are bit-identical either way.
+type argmaxEvaluator interface {
+	argmax() (best graph.EdgeID, bestGain int, ok bool)
 }
 
 // newEvaluator builds the gain oracle for a problem under the options.
-// The returned evaluator owns its working graph/index.
-func newEvaluator(p *Problem, opt Options) (evaluator, error) {
+// The returned evaluator owns its working graph/index; workers bounds the
+// index enumeration parallelism (<= 0 selects GOMAXPROCS).
+func newEvaluator(p *Problem, opt Options, workers int) (evaluator, error) {
 	switch opt.Engine {
 	case EngineRecount:
 		return newRecountEvaluator(p, opt.Scope), nil
 	case EngineIndexed, EngineLazy:
-		ix, err := motif.NewIndex(p.Phase1(), p.Pattern, p.Targets)
+		ix, err := motif.NewIndexWorkers(p.Phase1(), p.Pattern, p.Targets, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -119,23 +136,28 @@ func newEvaluator(p *Problem, opt Options) (evaluator, error) {
 
 type recountEvaluator struct {
 	g       *graph.Graph
+	in      *graph.Interner // phase-1 edge universe; deletions only shrink it
 	pattern motif.Pattern
 	targets []graph.Edge
 	scope   Scope
 	per     []int
 	total   int
+	seen    []bool // scratch for restricted candidate collection, by id
 }
 
 func newRecountEvaluator(p *Problem, scope Scope) *recountEvaluator {
 	g := p.Phase1()
 	total, per := motif.CountAll(g, p.Pattern, p.Targets)
+	in := graph.NewInterner(g)
 	return &recountEvaluator{
 		g:       g,
+		in:      in,
 		pattern: p.Pattern,
 		targets: p.Targets,
 		scope:   scope,
 		per:     per,
 		total:   total,
+		seen:    make([]bool, in.NumEdges()),
 	}
 }
 
@@ -143,58 +165,68 @@ func (r *recountEvaluator) totalSimilarity() int { return r.total }
 
 func (r *recountEvaluator) similarities() []int { return r.per }
 
-func (r *recountEvaluator) gain(p graph.Edge) int {
-	if !r.g.HasEdgeE(p) {
+func (r *recountEvaluator) interner() *graph.Interner { return r.in }
+
+func (r *recountEvaluator) gain(p graph.EdgeID) int {
+	e := r.in.Edge(p)
+	if !r.g.HasEdgeE(e) {
 		return 0
 	}
-	r.g.RemoveEdgeE(p)
+	r.g.RemoveEdgeE(e)
 	after, _ := motif.CountAll(r.g, r.pattern, r.targets)
-	r.g.AddEdgeE(p)
+	r.g.AddEdgeE(e)
 	return r.total - after
 }
 
-func (r *recountEvaluator) gainVector(p graph.Edge) ([]int, int) {
-	if !r.g.HasEdgeE(p) {
+func (r *recountEvaluator) gainVector(p graph.EdgeID, buf []int) ([]int, int) {
+	e := r.in.Edge(p)
+	if !r.g.HasEdgeE(e) {
 		return nil, 0
 	}
-	r.g.RemoveEdgeE(p)
+	r.g.RemoveEdgeE(e)
 	afterTotal, afterPer := motif.CountAll(r.g, r.pattern, r.targets)
-	r.g.AddEdgeE(p)
+	r.g.AddEdgeE(e)
 	total := r.total - afterTotal
 	if total == 0 {
 		return nil, 0
 	}
-	delta := make([]int, len(r.targets))
-	for i := range delta {
-		delta[i] = r.per[i] - afterPer[i]
+	for i := range buf {
+		buf[i] = r.per[i] - afterPer[i]
 	}
-	return delta, total
+	return buf, total
 }
 
-func (r *recountEvaluator) candidates() []graph.Edge {
+func (r *recountEvaluator) candidates(buf []graph.EdgeID) []graph.EdgeID {
 	if r.scope == ScopeAllEdges {
-		return r.g.Edges()
+		// Every interned edge still present in the working graph, ascending
+		// id = canonical order.
+		for id := 0; id < r.in.NumEdges(); id++ {
+			if r.g.HasEdgeE(r.in.Edge(graph.EdgeID(id))) {
+				buf = append(buf, graph.EdgeID(id))
+			}
+		}
+		return buf
 	}
 	// Lemma 5: only edges of currently existing target subgraphs can break
-	// target subgraphs. Re-enumerate on the current graph.
-	set := make(map[graph.Edge]struct{})
+	// target subgraphs. Re-enumerate on the current graph, dedup by id.
 	for _, t := range r.targets {
 		motif.EnumerateTarget(r.g, r.pattern, t, func(edges []graph.Edge) {
 			for _, e := range edges {
-				set[e] = struct{}{}
+				r.seen[r.in.ID(e)] = true
 			}
 		})
 	}
-	out := make([]graph.Edge, 0, len(set))
-	for e := range set {
-		out = append(out, e)
+	for id := range r.seen {
+		if r.seen[id] {
+			buf = append(buf, graph.EdgeID(id))
+			r.seen[id] = false
+		}
 	}
-	graph.SortEdges(out)
-	return out
+	return buf
 }
 
-func (r *recountEvaluator) delete(p graph.Edge) int {
-	if !r.g.RemoveEdgeE(p) {
+func (r *recountEvaluator) delete(p graph.EdgeID) int {
+	if !r.g.RemoveEdgeE(r.in.Edge(p)) {
 		return 0
 	}
 	after, afterPer := motif.CountAll(r.g, r.pattern, r.targets)
@@ -215,20 +247,20 @@ func (ie *indexedEvaluator) totalSimilarity() int { return ie.ix.TotalSimilarity
 
 func (ie *indexedEvaluator) similarities() []int { return ie.ix.Similarities() }
 
-func (ie *indexedEvaluator) gain(p graph.Edge) int {
-	if ie.ix.Deleted(p) {
-		return 0
-	}
-	return ie.ix.Gain(p)
+func (ie *indexedEvaluator) interner() *graph.Interner { return ie.ix.Interner() }
+
+// gain reads the maintained per-edge gain; a deleted edge's gain is
+// already 0 in the index, so no deletion check is needed.
+func (ie *indexedEvaluator) gain(p graph.EdgeID) int { return ie.ix.GainID(p) }
+
+func (ie *indexedEvaluator) gainVector(p graph.EdgeID, buf []int) ([]int, int) {
+	return ie.ix.GainVectorIDInto(p, buf)
 }
 
-func (ie *indexedEvaluator) gainVector(p graph.Edge) ([]int, int) {
-	if ie.ix.Deleted(p) {
-		return nil, 0
-	}
-	return ie.ix.GainVector(p)
+func (ie *indexedEvaluator) candidates(buf []graph.EdgeID) []graph.EdgeID {
+	return ie.ix.AppendCandidateIDs(buf)
 }
 
-func (ie *indexedEvaluator) candidates() []graph.Edge { return ie.ix.CandidateEdges() }
+func (ie *indexedEvaluator) delete(p graph.EdgeID) int { return ie.ix.DeleteEdgeID(p) }
 
-func (ie *indexedEvaluator) delete(p graph.Edge) int { return ie.ix.DeleteEdge(p) }
+func (ie *indexedEvaluator) argmax() (graph.EdgeID, int, bool) { return ie.ix.ArgmaxGainID() }

@@ -3,6 +3,7 @@ package tpp
 import (
 	"testing"
 
+	"repro/internal/graph"
 	"repro/internal/motif"
 )
 
@@ -32,32 +33,37 @@ func TestVariantName(t *testing.T) {
 
 func TestNewEvaluatorUnknownEngine(t *testing.T) {
 	p, _ := fig2Problem(t)
-	if _, err := newEvaluator(p, Options{Engine: Engine(99)}); err == nil {
+	if _, err := newEvaluator(p, Options{Engine: Engine(99)}, 0); err == nil {
 		t.Fatal("unknown engine accepted")
 	}
 }
 
-func TestRecountEvaluatorGainOfAbsentEdge(t *testing.T) {
+func TestRecountEvaluatorGainOfRemovedEdge(t *testing.T) {
 	p, _ := fig2Problem(t)
 	ev := newRecountEvaluator(p, ScopeAllEdges)
-	// A pair that is not an edge has zero gain and zero gain vector.
-	absent := p.Targets[0] // targets are removed in phase 1
-	if ev.gain(absent) != 0 {
-		t.Fatal("absent edge reported positive gain")
+	// An interned edge already removed from the working graph has zero gain
+	// and zero gain vector, and deleting it again is a no-op returning 0.
+	cands := ev.candidates(nil)
+	removed := cands[0]
+	if ev.delete(removed) < 0 {
+		t.Fatal("negative realised gain")
 	}
-	if per, tot := ev.gainVector(absent); per != nil || tot != 0 {
-		t.Fatalf("absent edge gain vector = %v,%d", per, tot)
+	if ev.gain(removed) != 0 {
+		t.Fatal("removed edge reported positive gain")
 	}
-	// delete of an absent edge is a no-op returning 0.
-	if ev.delete(absent) != 0 {
-		t.Fatal("deleting absent edge reported gain")
+	buf := make([]int, len(p.Targets))
+	if per, tot := ev.gainVector(removed, buf); per != nil || tot != 0 {
+		t.Fatalf("removed edge gain vector = %v,%d", per, tot)
+	}
+	if ev.delete(removed) != 0 {
+		t.Fatal("double delete reported gain")
 	}
 }
 
 func TestRecountCandidatesShrinkAfterDeletion(t *testing.T) {
 	p, _ := fig2Problem(t)
 	ev := newRecountEvaluator(p, ScopeTargetSubgraphs)
-	cands := ev.candidates()
+	cands := ev.candidates(nil)
 	before := len(cands)
 	// Delete the highest-gain protector: several instances die, so the
 	// restricted candidate set re-enumerated from the graph shrinks.
@@ -69,7 +75,7 @@ func TestRecountCandidatesShrinkAfterDeletion(t *testing.T) {
 		}
 	}
 	ev.delete(best)
-	after := len(ev.candidates())
+	after := len(ev.candidates(nil))
 	if after >= before {
 		t.Fatalf("restricted candidates did not shrink: %d -> %d", before, after)
 	}
@@ -77,18 +83,49 @@ func TestRecountCandidatesShrinkAfterDeletion(t *testing.T) {
 
 func TestIndexedEvaluatorDeletedEdgeGains(t *testing.T) {
 	p, _ := fig2Problem(t)
-	ev, err := newEvaluator(p, Options{Engine: EngineIndexed})
+	ev, err := newEvaluator(p, Options{Engine: EngineIndexed}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cands := ev.candidates()
+	cands := ev.candidates(nil)
 	first := cands[0]
 	ev.delete(first)
 	if ev.gain(first) != 0 {
 		t.Fatal("deleted edge still has gain")
 	}
-	if per, tot := ev.gainVector(first); per != nil || tot != 0 {
+	buf := make([]int, len(p.Targets))
+	if per, tot := ev.gainVector(first, buf); per != nil || tot != 0 {
 		t.Fatalf("deleted edge gain vector = %v,%d", per, tot)
+	}
+}
+
+// Ids are evaluator-local (the recount evaluator interns the full phase-1
+// graph, the indexed one only the touched W-edges), but the candidate
+// *edges* they denote must be identical at step 0 — the invariant that
+// makes selections engine-independent.
+func TestEvaluatorCandidateEdgesAgree(t *testing.T) {
+	p, _ := fig2Problem(t)
+	rec := newRecountEvaluator(p, ScopeTargetSubgraphs)
+	idx, err := newEvaluator(p, Options{Engine: EngineIndexed}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toEdges := func(ev evaluator) []graph.Edge {
+		ids := ev.candidates(nil)
+		out := make([]graph.Edge, len(ids))
+		for i, id := range ids {
+			out[i] = ev.interner().Edge(id)
+		}
+		return out
+	}
+	a, b := toEdges(rec), toEdges(idx)
+	if len(a) != len(b) {
+		t.Fatalf("candidate counts differ: %d vs %d (%v vs %v)", len(a), len(b), a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("candidate %d differs: %v vs %v", i, a[i], b[i])
+		}
 	}
 }
 

@@ -15,28 +15,37 @@ import (
 // working graph to score a candidate (delete, recount, restore), so
 // parallel evaluation needs one working graph per worker. Selections are
 // bit-identical to the serial algorithm: each worker reports its chunk's
-// best (gain, canonical-edge) pair and the reduction is order-independent.
+// best (gain, lowest edge id) pair and the reduction is order-independent.
 //
 // This is an engineering extension beyond the paper — the paper ran
 // single-threaded on a 128 GB server — kept separate from the serial code
 // path so the complexity-faithful variants stay exactly as analysed.
+// Sessions reach it through WithWorkers; sgbGreedy routes here when the
+// engine is EngineRecount and more than one worker was requested.
 
 // SGBGreedyParallel runs SGB-Greedy with the recount engine using the
 // given number of workers (0 or 1 falls back to the serial SGBGreedy;
 // negative selects GOMAXPROCS). Scope semantics match Options.Scope.
 func SGBGreedyParallel(p *Problem, k int, scope Scope, workers int) (*Result, error) {
-	if k < 0 {
-		return nil, fmt.Errorf("tpp: negative budget %d", k)
-	}
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	return sgbGreedyParallel(p, k, scope, workers, runEnv{})
+}
+
+func sgbGreedyParallel(p *Problem, k int, scope Scope, workers int, env runEnv) (*Result, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrNegativeBudget, k)
+	}
 	if workers <= 1 {
-		return SGBGreedy(p, k, Options{Engine: EngineRecount, Scope: scope})
+		serialEnv := env
+		serialEnv.workers = 1
+		return sgbGreedy(p, k, Options{Engine: EngineRecount, Scope: scope}, serialEnv)
 	}
 
 	start := time.Now()
 	master := newRecountEvaluator(p, scope)
+	in := master.interner()
 	// Per-worker working graphs, kept in lockstep with master's deletions.
 	graphs := make([]*graph.Graph, workers)
 	for i := range graphs {
@@ -45,12 +54,16 @@ func SGBGreedyParallel(p *Problem, k int, scope Scope, workers int) (*Result, er
 
 	res := newResult(Options{Scope: scope}.VariantName("SGB-Greedy")+":parallel", master.totalSimilarity())
 	type bestPick struct {
-		edge graph.Edge
+		id   graph.EdgeID
 		gain int
 		ok   bool
 	}
+	var cands []graph.EdgeID
 	for len(res.Protectors) < k {
-		cands := master.candidates()
+		if err := env.err(); err != nil {
+			return nil, err
+		}
+		cands = master.candidates(cands[:0])
 		if len(cands) == 0 {
 			break
 		}
@@ -72,40 +85,53 @@ func SGBGreedyParallel(p *Problem, k int, scope Scope, workers int) (*Result, er
 				g := graphs[w]
 				base := master.totalSimilarity()
 				var pick bestPick
-				for _, cand := range cands[lo:hi] {
-					if !g.HasEdgeE(cand) {
+				for i, cand := range cands[lo:hi] {
+					// Honour cancellation mid-scan: each recount is
+					// expensive, so a deadline must not wait out the whole
+					// chunk. ctx.Err() is sticky; the post-Wait check
+					// surfaces the abort.
+					if i%checkEvery == checkEvery-1 && env.err() != nil {
+						return
+					}
+					e := in.Edge(cand)
+					if !g.HasEdgeE(e) {
 						continue
 					}
-					g.RemoveEdgeE(cand)
+					g.RemoveEdgeE(e)
 					after, _ := motif.CountAll(g, p.Pattern, p.Targets)
-					g.AddEdgeE(cand)
+					g.AddEdgeE(e)
 					gain := base - after
 					if gain > pick.gain {
-						pick = bestPick{edge: cand, gain: gain, ok: true}
+						pick = bestPick{id: cand, gain: gain, ok: true}
 					}
 				}
 				picks[w] = pick
 			}(w, lo, hi)
 		}
 		wg.Wait()
+		if err := env.err(); err != nil {
+			return nil, err
+		}
 
 		var best bestPick
 		for _, pk := range picks {
 			if !pk.ok {
 				continue
 			}
-			if !best.ok || pk.gain > best.gain || (pk.gain == best.gain && pk.edge.Less(best.edge)) {
+			if !best.ok || pk.gain > best.gain || (pk.gain == best.gain && pk.id < best.id) {
 				best = pk
 			}
 		}
 		if !best.ok || best.gain == 0 {
 			break
 		}
-		master.delete(best.edge)
+		master.delete(best.id)
+		bestEdge := in.Edge(best.id)
 		for _, g := range graphs {
-			g.RemoveEdgeE(best.edge)
+			g.RemoveEdgeE(bestEdge)
 		}
-		res.record(best.edge, master.totalSimilarity(), time.Since(start))
+		res.record(bestEdge, master.totalSimilarity(), time.Since(start))
+		env.onStep(res)
 	}
 	res.PerTargetFinal = append([]int(nil), master.similarities()...)
 	res.Elapsed = time.Since(start)

@@ -16,13 +16,15 @@ type ProgressFunc func(step int, protector graph.Edge, similarity int)
 
 // runEnv carries the session-level plumbing into the greedy selection
 // loops: the cancellation context, an optional prebuilt motif index to
-// reuse instead of enumerating afresh, and an optional progress callback.
-// The zero value (no context, no index, no progress) reproduces the plain
-// free-function behaviour.
+// reuse instead of enumerating afresh, an optional progress callback, and
+// the worker count for index enumeration and the parallel recount scan.
+// The zero value (no context, no index, no progress, auto workers)
+// reproduces the plain free-function behaviour.
 type runEnv struct {
 	ctx      context.Context
 	ix       *motif.Index
 	progress ProgressFunc
+	workers  int // <= 0: auto (GOMAXPROCS) for index builds, serial scans
 }
 
 // err reports the context's cancellation state without blocking. Selection
@@ -51,7 +53,7 @@ func (e *runEnv) evaluator(p *Problem, opt Options) (evaluator, error) {
 	if e.ix != nil && opt.Engine != EngineRecount {
 		return &indexedEvaluator{ix: e.ix}, nil
 	}
-	return newEvaluator(p, opt)
+	return newEvaluator(p, opt, e.workers)
 }
 
 // index returns the prebuilt index or builds one for the problem.
@@ -59,7 +61,7 @@ func (e *runEnv) index(p *Problem) (*motif.Index, error) {
 	if e.ix != nil {
 		return e.ix, nil
 	}
-	return motif.NewIndex(p.Phase1(), p.Pattern, p.Targets)
+	return motif.NewIndexWorkers(p.Phase1(), p.Pattern, p.Targets, e.workers)
 }
 
 // checkEvery is how many candidate evaluations a scan performs between

@@ -4,11 +4,27 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/motif"
 )
+
+// normalizeWorkers resolves a WithWorkers value: non-positive means auto
+// (0, deferred to the index builder / serial scans), anything above
+// GOMAXPROCS is clamped — more workers than CPUs only costs per-worker
+// graph copies in the parallel recount scan.
+func normalizeWorkers(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if max := runtime.GOMAXPROCS(0); n > max {
+		return max
+	}
+	return n
+}
 
 // Protector is a reusable protection session: one graph, one target set and
 // one motif threat model, constructed once with New and driven any number
@@ -26,9 +42,10 @@ type Protector struct {
 	problem *Problem
 	base    settings
 
-	runSlot     chan struct{} // capacity 1: serialises runs, ctx-aware
-	ix          *motif.Index  // built on first indexed run, then reused
-	indexBuilds atomic.Int64  // number of motif.NewIndex calls (observability)
+	runSlot        chan struct{} // capacity 1: serialises runs, ctx-aware
+	ix             *motif.Index  // built on first indexed run, then reused
+	indexBuilds    atomic.Int64  // number of motif.NewIndex calls (observability)
+	indexBuildTime atomic.Int64  // total nanoseconds spent enumerating indexes
 }
 
 // settings is the resolved option set for a session or a single run.
@@ -39,6 +56,7 @@ type settings struct {
 	budget   int
 	engine   Engine
 	scope    Scope
+	workers  int
 	seed     int64
 	progress ProgressFunc
 }
@@ -115,6 +133,15 @@ func WithEngine(e Engine) Option { return func(s *settings) { s.engine = e } }
 // ScopeTargetSubgraphs, the paper's -R restriction — exact and faster).
 func WithScope(sc Scope) Option { return func(s *settings) { s.scope = sc } }
 
+// WithWorkers sets the parallelism of a run (default 0 = auto). Index
+// enumeration shards targets across the workers (auto = GOMAXPROCS), and
+// with the recount engine a worker count above 1 parallelises the per-step
+// SGB candidate scan as well (auto keeps the scan serial, preserving the
+// paper's single-threaded cost model unless parallelism is explicitly
+// requested). Selections are identical for every worker count; values
+// above GOMAXPROCS are clamped to it.
+func WithWorkers(n int) Option { return func(s *settings) { s.workers = n } }
+
 // WithSeed seeds the random baselines. Only MethodRD and MethodRDT consume
 // randomness; the seed is ignored by the deterministic greedy methods.
 func WithSeed(seed int64) Option { return func(s *settings) { s.seed = seed } }
@@ -154,6 +181,13 @@ func (pr *Protector) Problem() *Problem { return pr.problem }
 // 1 after any number of indexed runs is the reuse working as intended.
 func (pr *Protector) IndexBuilds() int { return int(pr.indexBuilds.Load()) }
 
+// IndexBuildTime reports the total wall-clock time this session has spent
+// enumerating motif indexes — the dominant cost of a protection request,
+// paid once per session and amortised across runs.
+func (pr *Protector) IndexBuildTime() time.Duration {
+	return time.Duration(pr.indexBuildTime.Load())
+}
+
 // Run executes one protection request: phase-2 protector selection under
 // the session's options merged with the per-run overrides. It honours ctx
 // throughout — an already-cancelled context returns ctx.Err() before any
@@ -187,16 +221,17 @@ func (pr *Protector) Run(ctx context.Context, opts ...Option) (*Result, error) {
 		return nil, ctx.Err()
 	}
 
-	env := runEnv{ctx: ctx, progress: s.progress}
+	env := runEnv{ctx: ctx, progress: s.progress, workers: normalizeWorkers(s.workers)}
 	if s.engine != EngineRecount || s.method == MethodRD || s.method == MethodRDT {
 		// Baselines always need the index for their similarity trace.
 		if pr.ix == nil {
-			ix, err := motif.NewIndex(pr.problem.Phase1(), pr.problem.Pattern, pr.problem.Targets)
+			ix, err := motif.NewIndexWorkers(pr.problem.Phase1(), pr.problem.Pattern, pr.problem.Targets, env.workers)
 			if err != nil {
 				return nil, err
 			}
 			pr.ix = ix
 			pr.indexBuilds.Add(1)
+			pr.indexBuildTime.Add(int64(ix.BuildStats().Elapsed))
 		} else {
 			pr.ix.Reset()
 		}
@@ -281,6 +316,23 @@ func ParseMethod(s string) (Method, error) {
 		return m, nil
 	default:
 		return "", fmt.Errorf("%w: %q (want sgb, ct, wt, rd or rdt)", ErrUnknownMethod, s)
+	}
+}
+
+// ParseEngine maps the wire/CLI spelling of a gain engine ("lazy",
+// "indexed", "recount"; empty selects the default EngineLazy) to its
+// Engine, or fails with ErrUnknownEngine. Every engine produces identical
+// selections — the spelling picks a cost model, not an algorithm.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "lazy":
+		return EngineLazy, nil
+	case "indexed":
+		return EngineIndexed, nil
+	case "recount":
+		return EngineRecount, nil
+	default:
+		return 0, fmt.Errorf("%w: %q (want lazy, indexed or recount)", ErrUnknownEngine, s)
 	}
 }
 

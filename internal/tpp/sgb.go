@@ -32,33 +32,49 @@ func sgbGreedy(p *Problem, k int, opt Options, env runEnv) (*Result, error) {
 	if opt.Engine == EngineLazy {
 		return sgbLazy(p, k, opt, env)
 	}
+	if opt.Engine == EngineRecount && env.workers > 1 {
+		// The recount argmax scan is the one regime where a parallel scan
+		// pays; selections are bit-identical to the serial loop below.
+		return sgbGreedyParallel(p, k, opt.Scope, env.workers, env)
+	}
 	ev, err := env.evaluator(p, opt)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	res := newResult(opt.VariantName("SGB-Greedy"), ev.totalSimilarity())
+	am, hasHeap := ev.(argmaxEvaluator)
+	var cands []graph.EdgeID
 	for len(res.Protectors) < k {
 		if err := env.err(); err != nil {
 			return nil, err
 		}
-		var best graph.Edge
+		best := graph.NoEdge
 		bestGain := 0
-		for i, cand := range ev.candidates() {
-			if i%checkEvery == checkEvery-1 {
-				if err := env.err(); err != nil {
-					return nil, err
-				}
+		if hasHeap {
+			// Indexed engine: the gain heap answers the argmax in O(1).
+			var ok bool
+			if best, bestGain, ok = am.argmax(); !ok {
+				break
 			}
-			if g := ev.gain(cand); g > bestGain {
-				best, bestGain = cand, g
+		} else {
+			cands = ev.candidates(cands[:0])
+			for i, cand := range cands {
+				if i%checkEvery == checkEvery-1 {
+					if err := env.err(); err != nil {
+						return nil, err
+					}
+				}
+				if g := ev.gain(cand); g > bestGain {
+					best, bestGain = cand, g
+				}
 			}
 		}
 		if bestGain == 0 {
 			break // Algorithm 1: Δ_{p*} == 0 ⇒ stop
 		}
 		ev.delete(best)
-		res.record(best, ev.totalSimilarity(), time.Since(start))
+		res.record(ev.interner().Edge(best), ev.totalSimilarity(), time.Since(start))
 		env.onStep(res)
 	}
 	res.PerTargetFinal = append([]int(nil), ev.similarities()...)
@@ -78,8 +94,8 @@ func sgbLazy(p *Problem, k int, opt Options, env runEnv) (*Result, error) {
 	res := newResult(opt.VariantName("SGB-Greedy")+":lazy", ix.TotalSimilarity())
 
 	h := &gainHeap{}
-	for _, e := range ix.CandidateEdges() {
-		h.items = append(h.items, gainItem{edge: e, gain: ix.Gain(e), round: 0})
+	for _, id := range ix.AppendCandidateIDs(nil) {
+		h.items = append(h.items, gainItem{id: id, gain: ix.GainID(id), round: 0})
 	}
 	heap.Init(h)
 
@@ -89,7 +105,7 @@ func sgbLazy(p *Problem, k int, opt Options, env runEnv) (*Result, error) {
 		top := h.items[0]
 		if top.round != round {
 			// Stale: refresh and push back; the heap property re-sorts it.
-			h.items[0].gain = ix.Gain(top.edge)
+			h.items[0].gain = ix.GainID(top.id)
 			h.items[0].round = round
 			heap.Fix(h, 0)
 			refreshed++
@@ -107,8 +123,8 @@ func sgbLazy(p *Problem, k int, opt Options, env runEnv) (*Result, error) {
 		if top.gain == 0 {
 			break
 		}
-		ix.DeleteEdge(top.edge)
-		res.record(top.edge, ix.TotalSimilarity(), time.Since(start))
+		ix.DeleteEdgeID(top.id)
+		res.record(ix.Interner().Edge(top.id), ix.TotalSimilarity(), time.Since(start))
 		env.onStep(res)
 		round++
 	}
@@ -117,16 +133,16 @@ func sgbLazy(p *Problem, k int, opt Options, env runEnv) (*Result, error) {
 	return res, nil
 }
 
-// gainItem is a heap entry: an edge with its last-computed gain and the
-// selection round at which that gain was computed.
+// gainItem is a CELF heap entry: an edge id with its last-computed gain and
+// the selection round at which that gain was computed.
 type gainItem struct {
-	edge  graph.Edge
+	id    graph.EdgeID
 	gain  int
 	round int
 }
 
-// gainHeap is a max-heap by gain with canonical edge order as tie-break,
-// keeping the lazy greedy fully deterministic.
+// gainHeap is a max-heap by gain with ascending edge id — i.e. canonical
+// edge order — as tie-break, keeping the lazy greedy fully deterministic.
 type gainHeap struct{ items []gainItem }
 
 func (h *gainHeap) Len() int { return len(h.items) }
@@ -135,7 +151,7 @@ func (h *gainHeap) Less(i, j int) bool {
 	if a.gain != b.gain {
 		return a.gain > b.gain
 	}
-	return a.edge.Less(b.edge)
+	return a.id < b.id
 }
 func (h *gainHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
 func (h *gainHeap) Push(x interface{}) { h.items = append(h.items, x.(gainItem)) }
