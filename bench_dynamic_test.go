@@ -1,0 +1,103 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/motif"
+)
+
+// Dynamic-graph ablation: maintaining the motif index under a batch of edge
+// mutations incrementally (motif.Index.ApplyDelta — kill incident instances
+// via the CSR table, re-enumerate only insert-touched targets) versus what
+// a delta-unaware session must do — re-derive the phase-1 working graph
+// (Problem.Phase1 clone) and re-enumerate every target from scratch.
+// BENCH_dynamic.json records the measured gap.
+
+type dynamicBench struct {
+	pattern motif.Pattern
+	targets []graph.Edge
+	churn   *gen.Churn
+	deltaK  int
+}
+
+// newDynamicBench builds the evolving fixture: a DBLP stand-in, sampled
+// targets, a churn stream over the phase-1 graph, and a warm index.
+func newDynamicBench(b *testing.B, pattern motif.Pattern, scale, nTargets, deltaK int) (*dynamicBench, *motif.Index) {
+	b.Helper()
+	ds := datasets.DBLPSim(scale, 12)
+	rng := rand.New(rand.NewSource(99))
+	targets := datasets.SampleTargets(ds.Graph, nTargets, rng)
+	phase1 := ds.Graph.Clone()
+	phase1.RemoveEdges(targets)
+	churn := gen.NewChurn(phase1, targets, 0.5, rng)
+	ix, err := motif.NewIndex(churn.Graph(), pattern, targets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &dynamicBench{pattern: pattern, targets: targets, churn: churn, deltaK: deltaK}, ix
+}
+
+func dynamicBenchCases() []struct {
+	name    string
+	pattern motif.Pattern
+	scale   int
+	targets int
+	deltaK  int
+} {
+	return []struct {
+		name    string
+		pattern motif.Pattern
+		scale   int
+		targets int
+		deltaK  int
+	}{
+		{"Triangle", motif.Triangle, 4000, 64, 16},
+		{"Rectangle", motif.Rectangle, 4000, 64, 16},
+	}
+}
+
+// BenchmarkDynamicApplyIncremental measures maintaining the index under one
+// delta batch (~0.13% of edges) with ApplyDelta: graph mutation is done by
+// the churn stream, the index absorbs the batch incrementally.
+func BenchmarkDynamicApplyIncremental(b *testing.B) {
+	for _, c := range dynamicBenchCases() {
+		b.Run(fmt.Sprintf("%s/scale=%d/delta=%d", c.name, c.scale, c.deltaK), func(b *testing.B) {
+			fx, ix := newDynamicBench(b, c.pattern, c.scale, c.targets, c.deltaK)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ins, rem := fx.churn.Next(fx.deltaK)
+				b.StartTimer()
+				if _, err := ix.ApplyDelta(fx.churn.Graph(), ins, rem); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDynamicFullRebuild measures the delta-unaware baseline on the
+// same churn stream: re-derive the phase-1 working graph (clone) and
+// re-enumerate every target with motif.NewIndex.
+func BenchmarkDynamicFullRebuild(b *testing.B) {
+	for _, c := range dynamicBenchCases() {
+		b.Run(fmt.Sprintf("%s/scale=%d/delta=%d", c.name, c.scale, c.deltaK), func(b *testing.B) {
+			fx, _ := newDynamicBench(b, c.pattern, c.scale, c.targets, c.deltaK)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fx.churn.Next(fx.deltaK)
+				b.StartTimer()
+				working := fx.churn.Graph().Clone()
+				if _, err := motif.NewIndex(working, fx.pattern, fx.targets); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

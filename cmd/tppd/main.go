@@ -7,9 +7,19 @@
 //
 // Endpoints:
 //
-//	POST /v1/protect   run a protection request (JSON in, JSON out)
-//	GET  /v1/datasets  list the server-side datasets
-//	GET  /healthz      liveness probe
+//	POST   /v1/protect               run a one-shot protection request
+//	POST   /v1/sessions              create a long-lived evolving session
+//	GET    /v1/sessions/{id}         inspect a session
+//	POST   /v1/sessions/{id}/delta   apply edge insertions/removals
+//	POST   /v1/sessions/{id}/protect protect on the session's current graph
+//	DELETE /v1/sessions/{id}         delete a session
+//	GET    /v1/datasets              list the server-side datasets
+//	GET    /v1/stats                 service counters and timings
+//	GET    /healthz                  liveness probe
+//
+// Sessions keep their motif index warm across calls: deltas update it
+// incrementally (time proportional to the delta, not the graph) and idle
+// sessions are evicted after -session-ttl.
 //
 // Example:
 //
@@ -46,12 +56,14 @@ func main() {
 		maxBody       = flag.Int64("max-body", 32<<20, "max request body bytes")
 		reqTimeout    = flag.Duration("request-timeout", time.Minute, "per-request selection time cap")
 		maxScale      = flag.Int("max-dataset-scale", defaultMaxScale, "max node count for server-side dataset graphs")
+		sessionTTL    = flag.Duration("session-ttl", 30*time.Minute, "evict named sessions idle for longer (0 disables)")
 	)
 	flag.Parse()
 
+	service := NewServer(*maxConcurrent, *maxBody, *reqTimeout, *maxScale, *sessionTTL)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           NewServer(*maxConcurrent, *maxBody, *reqTimeout, *maxScale).Handler(),
+		Handler:           service.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -69,7 +81,8 @@ func main() {
 		log.Fatalf("tppd: %v", err)
 	case <-ctx.Done():
 		// Graceful drain: stop accepting, wait for in-flight selections
-		// (bounded), and only then let main return.
+		// (bounded), then stop the session janitor and release the named
+		// sessions before letting main return.
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -78,6 +91,7 @@ func main() {
 		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("tppd: %v", err)
 		}
+		service.Close()
 	}
 	log.Printf("tppd: stopped")
 }

@@ -13,21 +13,25 @@ import (
 	"time"
 
 	"repro/internal/datasets"
+	"repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/motif"
 	"repro/internal/tpp"
 )
 
-// Server is the TPP protection service: a stateless JSON front end over the
-// tpp.Protector session API. Each request carries its own graph (inline
-// edge list or a named server-side dataset), targets and protection
-// options; requests are served concurrently, bounded by a semaphore so a
+// Server is the TPP protection service: a JSON front end over the
+// tpp.Protector session API. The one-shot path (POST /v1/protect) carries
+// its own graph per request; the session path (POST /v1/sessions and the
+// /v1/sessions/{id}/... family) keeps a long-lived evolving Protector on
+// the server, mutated by deltas and protected repeatedly, with idle-TTL
+// eviction. Requests are served concurrently, bounded by a semaphore so a
 // burst of heavy selections degrades into queueing instead of thrashing.
 type Server struct {
 	maxBody    int64
 	maxTimeout time.Duration // server-side cap on per-request selection time
 	maxScale   int           // cap on dataset graph size a client may request
 	sem        chan struct{} // bounds concurrent selection runs
+	sessions   *sessionStore // long-lived named sessions (TTL-evicted)
 	stats      serverStats
 }
 
@@ -39,6 +43,13 @@ type serverStats struct {
 	indexBuilds   atomic.Int64 // motif index enumerations performed
 	enumNanos     atomic.Int64 // total wall-clock time spent enumerating
 	lastEnumNanos atomic.Int64 // duration of the most recent enumeration
+
+	sessionsCreated atomic.Int64 // named sessions created over the lifetime
+	sessionsClosed  atomic.Int64 // named sessions deleted by clients
+	sessionsEvicted atomic.Int64 // named sessions evicted by the idle TTL
+	deltasApplied   atomic.Int64 // graph deltas applied across all sessions
+	deltaNanos      atomic.Int64 // total wall-clock time spent applying deltas
+	lastDeltaNanos  atomic.Int64 // duration of the most recent delta apply
 }
 
 // record folds one finished session into the aggregate counters.
@@ -60,26 +71,42 @@ const defaultMaxScale = 1 << 20
 // selections run at once (<=0 means 1); maxBody bounds the request body in
 // bytes; maxTimeout caps the per-request deadline a client may ask for;
 // maxScale caps the node count of server-side dataset graphs (<=0 selects
-// defaultMaxScale).
-func NewServer(maxConcurrent int, maxBody int64, maxTimeout time.Duration, maxScale int) *Server {
+// defaultMaxScale); sessionTTL evicts named sessions idle for longer
+// (<=0 disables eviction). Call Close when done to stop the TTL janitor
+// and release the sessions.
+func NewServer(maxConcurrent int, maxBody int64, maxTimeout time.Duration, maxScale int, sessionTTL time.Duration) *Server {
 	if maxConcurrent <= 0 {
 		maxConcurrent = 1
 	}
 	if maxScale <= 0 {
 		maxScale = defaultMaxScale
 	}
-	return &Server{
+	s := &Server{
 		maxBody:    maxBody,
 		maxTimeout: maxTimeout,
 		maxScale:   maxScale,
 		sem:        make(chan struct{}, maxConcurrent),
 	}
+	s.sessions = newSessionStore(sessionTTL, func(n int) { s.stats.sessionsEvicted.Add(int64(n)) })
+	return s
+}
+
+// Close stops the session janitor and releases every named session. Call it
+// after the HTTP server has drained (http.Server.Shutdown), so no handler
+// is still using a session.
+func (s *Server) Close() {
+	s.sessions.close()
 }
 
 // Handler returns the service's route table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/protect", s.handleProtect)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("POST /v1/sessions/{id}/delta", s.handleSessionDelta)
+	mux.HandleFunc("POST /v1/sessions/{id}/protect", s.handleSessionProtect)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -158,37 +185,9 @@ func (s *Server) handleProtect(w http.ResponseWriter, r *http.Request) {
 
 	// Cheap validation first, so malformed options fail fast with 400
 	// before the request costs the server anything.
-	pattern := motif.Triangle
-	var err error
-	if req.Pattern != "" {
-		if pattern, err = motif.ParsePattern(req.Pattern); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-			return
-		}
-	}
-	method, err := tpp.ParseMethod(req.Method)
+	opts, err := s.validateProtectRequest(&req)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
-	}
-	division, err := tpp.ParseDivision(req.Division)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
-	}
-	engine, err := tpp.ParseEngine(req.Engine)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
-	}
-	if req.Workers < 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
-			Error: fmt.Sprintf("negative workers %d", req.Workers)})
-		return
-	}
-	if req.Dataset != nil && req.Dataset.Scale > s.maxScale {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
-			Error: fmt.Sprintf("dataset scale %d exceeds server limit %d", req.Dataset.Scale, s.maxScale)})
 		return
 	}
 
@@ -216,36 +215,16 @@ func (s *Server) handleProtect(w http.ResponseWriter, r *http.Request) {
 	}
 	defer releaseSem()
 
-	g, lab, err := req.buildGraph()
+	session, lab, err := req.newSession(ctx, opts)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			writeRunError(w, ctxErr)
+		} else {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		}
 		return
 	}
-	if err := ctx.Err(); err != nil {
-		writeRunError(w, err)
-		return
-	}
-	targets, err := req.resolveTargets(g, lab)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
-	}
-
-	// tpp.New validates the remaining options and the target set; every
-	// failure here is the client's data, not server state.
-	session, err := tpp.New(g, targets,
-		tpp.WithPattern(pattern),
-		tpp.WithMethod(method),
-		tpp.WithDivision(division),
-		tpp.WithEngine(engine),
-		tpp.WithBudget(req.Budget),
-		tpp.WithSeed(req.Seed),
-		tpp.WithWorkers(req.Workers),
-	)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
-	}
+	g, targets := session.Problem().G, session.Problem().Targets
 
 	s.stats.totalRequests.Add(1)
 	s.stats.liveSessions.Add(1)
@@ -292,14 +271,27 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 // long they took (enumeration dominates request cost, so these timings are
 // the service's main capacity signal).
 type statsResponse struct {
-	TotalRequests       int64   `json:"total_requests"`
-	LiveSessions        int64   `json:"live_sessions"`
-	IndexBuilds         int64   `json:"index_builds"`
-	EnumerationTotalMS  float64 `json:"enumeration_total_ms"`
-	EnumerationLastMS   float64 `json:"enumeration_last_ms"`
-	MaxWorkers          int     `json:"max_workers"`
-	MaxConcurrentInUse  int     `json:"max_concurrent_in_use"`
-	MaxConcurrentConfig int     `json:"max_concurrent_config"`
+	TotalRequests      int64   `json:"total_requests"`
+	LiveSessions       int64   `json:"live_sessions"`
+	IndexBuilds        int64   `json:"index_builds"`
+	EnumerationTotalMS float64 `json:"enumeration_total_ms"`
+	EnumerationLastMS  float64 `json:"enumeration_last_ms"`
+
+	// Long-lived session lifecycle and incremental-maintenance counters.
+	// Comparing delta_apply_* against enumeration_* is the service-level
+	// incremental-vs-rebuild signal: every delta whose apply time is far
+	// below the enumeration time is a full re-index avoided.
+	SessionsOpen      int     `json:"sessions_open"`
+	SessionsCreated   int64   `json:"sessions_created"`
+	SessionsClosed    int64   `json:"sessions_closed"`
+	SessionsEvicted   int64   `json:"sessions_evicted"`
+	DeltasApplied     int64   `json:"deltas_applied"`
+	DeltaApplyTotalMS float64 `json:"delta_apply_total_ms"`
+	DeltaApplyLastMS  float64 `json:"delta_apply_last_ms"`
+
+	MaxWorkers          int `json:"max_workers"`
+	MaxConcurrentInUse  int `json:"max_concurrent_in_use"`
+	MaxConcurrentConfig int `json:"max_concurrent_config"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -309,6 +301,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		IndexBuilds:         s.stats.indexBuilds.Load(),
 		EnumerationTotalMS:  float64(s.stats.enumNanos.Load()) / 1e6,
 		EnumerationLastMS:   float64(s.stats.lastEnumNanos.Load()) / 1e6,
+		SessionsOpen:        s.sessions.open(),
+		SessionsCreated:     s.stats.sessionsCreated.Load(),
+		SessionsClosed:      s.stats.sessionsClosed.Load(),
+		SessionsEvicted:     s.stats.sessionsEvicted.Load(),
+		DeltasApplied:       s.stats.deltasApplied.Load(),
+		DeltaApplyTotalMS:   float64(s.stats.deltaNanos.Load()) / 1e6,
+		DeltaApplyLastMS:    float64(s.stats.lastDeltaNanos.Load()) / 1e6,
 		MaxWorkers:          runtime.GOMAXPROCS(0),
 		MaxConcurrentInUse:  len(s.sem),
 		MaxConcurrentConfig: cap(s.sem),
@@ -336,23 +335,99 @@ func (s *Server) requestContext(parent context.Context, timeoutMS int64) (contex
 // the client; no stdlib constant exists.
 const statusClientClosedRequest = 499
 
-// writeRunError maps a selection error to an HTTP status: caller mistakes
-// (typed option errors) to 400, deadline to 504, client cancellation to
-// 499, anything else to 500.
-func writeRunError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+// runErrorStatus maps a selection or delta error to an HTTP status: caller
+// mistakes (typed option errors, invalid deltas) to 400, deadline to 504,
+// client cancellation to 499, anything else to 500.
+func runErrorStatus(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
-		status = statusClientClosedRequest
+		return statusClientClosedRequest
 	case errors.Is(err, tpp.ErrUnknownMethod),
 		errors.Is(err, tpp.ErrUnknownDivision),
 		errors.Is(err, tpp.ErrNegativeBudget),
-		errors.Is(err, tpp.ErrPatternFixed):
-		status = http.StatusBadRequest
+		errors.Is(err, tpp.ErrPatternFixed),
+		errors.Is(err, dynamic.ErrInvalid):
+		return http.StatusBadRequest
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	return http.StatusInternalServerError
+}
+
+func writeRunError(w http.ResponseWriter, err error) {
+	writeJSON(w, runErrorStatus(err), errorResponse{Error: err.Error()})
+}
+
+// runOptions is the parsed option set shared by the one-shot protect and
+// session-create paths.
+type runOptions struct {
+	pattern  motif.Pattern
+	method   tpp.Method
+	division tpp.Division
+	engine   tpp.Engine
+}
+
+// validateProtectRequest performs the cheap validations — option spellings
+// and server limits — that must fail fast with 400 before the request
+// queues for a work slot. Empty option strings select the documented
+// defaults.
+func (s *Server) validateProtectRequest(r *protectRequest) (runOptions, error) {
+	var opts runOptions
+	opts.pattern = motif.Triangle
+	var err error
+	if r.Pattern != "" {
+		if opts.pattern, err = motif.ParsePattern(r.Pattern); err != nil {
+			return runOptions{}, err
+		}
+	}
+	if opts.method, err = tpp.ParseMethod(r.Method); err != nil {
+		return runOptions{}, err
+	}
+	if opts.division, err = tpp.ParseDivision(r.Division); err != nil {
+		return runOptions{}, err
+	}
+	if opts.engine, err = tpp.ParseEngine(r.Engine); err != nil {
+		return runOptions{}, err
+	}
+	if r.Workers < 0 {
+		return runOptions{}, fmt.Errorf("negative workers %d", r.Workers)
+	}
+	if r.Dataset != nil && r.Dataset.Scale > s.maxScale {
+		return runOptions{}, fmt.Errorf("dataset scale %d exceeds server limit %d", r.Dataset.Scale, s.maxScale)
+	}
+	return opts, nil
+}
+
+// newSession materialises the request's graph and constructs the Protector
+// with the request's options as defaults. The caller holds a semaphore
+// slot (graph materialisation can dominate a request); every error is the
+// client's data unless ctx died first.
+func (r *protectRequest) newSession(ctx context.Context, opts runOptions) (*tpp.Protector, *graph.Labeling, error) {
+	g, lab, err := r.buildGraph()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	targets, err := r.resolveTargets(g, lab)
+	if err != nil {
+		return nil, nil, err
+	}
+	// tpp.New validates the remaining options and the target set.
+	session, err := tpp.New(g, targets,
+		tpp.WithPattern(opts.pattern),
+		tpp.WithMethod(opts.method),
+		tpp.WithDivision(opts.division),
+		tpp.WithEngine(opts.engine),
+		tpp.WithBudget(r.Budget),
+		tpp.WithSeed(r.Seed),
+		tpp.WithWorkers(r.Workers),
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	return session, lab, nil
 }
 
 // buildGraph materialises the request's graph and its label mapping.

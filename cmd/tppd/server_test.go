@@ -17,7 +17,7 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(NewServer(2, 1<<20, 30*time.Second, 0).Handler())
+	ts := httptest.NewServer(NewServer(2, 1<<20, 30*time.Second, 0, 0).Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -222,7 +222,7 @@ func TestWriteRunErrorMapping(t *testing.T) {
 // positive client timeout_ms bounds the request even when the server-side
 // cap is disabled.
 func TestRequestContextHonorsClientTimeoutWithoutServerCap(t *testing.T) {
-	s := NewServer(1, 1<<20, 0, 0) // cap disabled
+	s := NewServer(1, 1<<20, 0, 0, 0) // cap disabled
 	ctx, cancel := s.requestContext(context.Background(), 5)
 	defer cancel()
 	if _, ok := ctx.Deadline(); !ok {
@@ -233,7 +233,7 @@ func TestRequestContextHonorsClientTimeoutWithoutServerCap(t *testing.T) {
 	if _, ok := ctx2.Deadline(); ok {
 		t.Fatal("deadline set although both cap and client timeout are unset")
 	}
-	s = NewServer(1, 1<<20, time.Millisecond, 0) // cap below client ask
+	s = NewServer(1, 1<<20, time.Millisecond, 0, 0) // cap below client ask
 	ctx3, cancel3 := s.requestContext(context.Background(), 60_000)
 	defer cancel3()
 	if dl, ok := ctx3.Deadline(); !ok || time.Until(dl) > time.Second {

@@ -1,0 +1,611 @@
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/tpp"
+)
+
+// sessionRecord is one long-lived named protection session: a tpp.Protector
+// plus the label mapping its graph was interned under. The record's slot (a
+// capacity-1 channel, like tpp's run slot) serialises all HTTP work on the
+// session (delta, protect, delete) and — unlike a mutex — lets waiters
+// abandon the wait when their request context dies, so a deadline-bearing
+// request never blocks unboundedly behind a long run. The TTL janitor only
+// evicts records whose slot it can take without waiting, so an in-flight
+// request is never pulled out from under its handler.
+type sessionRecord struct {
+	id   string
+	slot chan struct{} // capacity 1: holds the session's exclusive lock
+	gone bool          // evicted or deleted; holders of a stale pointer must 404
+
+	session *tpp.Protector
+	lab     *graph.Labeling
+	pattern string
+	// defaultBudget is the creation-time budget, echoed in protect
+	// responses when a run does not override it (0 = critical budget).
+	defaultBudget int
+
+	created  time.Time
+	lastUsed time.Time
+	runs     int64
+	deltas   int64
+
+	// Last values folded into the aggregate stats, so repeated protect
+	// calls on the same session add only the increment.
+	statBuilds int64
+	statEnumNs int64
+}
+
+// sessionStore owns the named sessions and their idle-TTL eviction.
+type sessionStore struct {
+	mu  sync.Mutex
+	m   map[string]*sessionRecord
+	ttl time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newSessionStore(ttl time.Duration, evicted func(int)) *sessionStore {
+	ss := &sessionStore{
+		m:    make(map[string]*sessionRecord),
+		ttl:  ttl,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if ttl > 0 {
+		interval := ttl / 4
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+		if interval > 30*time.Second {
+			interval = 30 * time.Second
+		}
+		go ss.janitor(interval, evicted)
+	} else {
+		close(ss.done)
+	}
+	return ss
+}
+
+// janitor periodically evicts sessions idle past the TTL. Busy sessions
+// (mutex held by a handler) are skipped and reconsidered next sweep.
+func (ss *sessionStore) janitor(interval time.Duration, evicted func(int)) {
+	defer close(ss.done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ss.stop:
+			return
+		case now := <-ticker.C:
+			ss.mu.Lock()
+			candidates := make([]*sessionRecord, 0, len(ss.m))
+			for _, rec := range ss.m {
+				candidates = append(candidates, rec)
+			}
+			ss.mu.Unlock()
+			n := 0
+			for _, rec := range candidates {
+				select {
+				case rec.slot <- struct{}{}: // try-lock: busy sessions wait for the next sweep
+				default:
+					continue
+				}
+				if !rec.gone && now.Sub(rec.lastUsed) > ss.ttl {
+					ss.remove(rec)
+					n++
+				}
+				<-rec.slot
+			}
+			if n > 0 && evicted != nil {
+				evicted(n)
+			}
+		}
+	}
+}
+
+// add registers a new session under a fresh id.
+func (ss *sessionStore) add(rec *sessionRecord) string {
+	buf := make([]byte, 8)
+	if _, err := rand.Read(buf); err != nil {
+		panic(fmt.Sprintf("tppd: reading session id entropy: %v", err))
+	}
+	id := "s-" + hex.EncodeToString(buf)
+	rec.id = id
+	rec.slot = make(chan struct{}, 1)
+	ss.mu.Lock()
+	ss.m[id] = rec
+	ss.mu.Unlock()
+	return id
+}
+
+// acquire returns the session locked for exclusive use. A nil record with
+// nil error means the id is unknown (never existed, deleted, or
+// TTL-evicted); a non-nil error means ctx died while waiting for the slot.
+// Callers must release with ss.release (or rec.slot directly after remove).
+func (ss *sessionStore) acquire(ctx context.Context, id string) (*sessionRecord, error) {
+	ss.mu.Lock()
+	rec := ss.m[id]
+	ss.mu.Unlock()
+	if rec == nil {
+		return nil, nil
+	}
+	select {
+	case rec.slot <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if rec.gone {
+		<-rec.slot
+		return nil, nil
+	}
+	return rec, nil
+}
+
+// release refreshes the idle clock and frees the slot.
+func (ss *sessionStore) release(rec *sessionRecord) {
+	rec.lastUsed = time.Now()
+	<-rec.slot
+}
+
+// remove unregisters rec. The caller must hold rec's slot.
+func (ss *sessionStore) remove(rec *sessionRecord) {
+	rec.gone = true
+	ss.mu.Lock()
+	delete(ss.m, rec.id)
+	ss.mu.Unlock()
+}
+
+// open returns the number of live sessions.
+func (ss *sessionStore) open() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return len(ss.m)
+}
+
+// close stops the janitor and releases every session. Called after the HTTP
+// server has drained, so no handler still holds a record mutex for long.
+func (ss *sessionStore) close() {
+	select {
+	case <-ss.stop:
+	default:
+		close(ss.stop)
+	}
+	<-ss.done
+	ss.mu.Lock()
+	recs := make([]*sessionRecord, 0, len(ss.m))
+	for _, rec := range ss.m {
+		recs = append(recs, rec)
+	}
+	ss.mu.Unlock()
+	for _, rec := range recs {
+		rec.slot <- struct{}{}
+		ss.remove(rec)
+		<-rec.slot
+	}
+}
+
+// ---------------------------------------------------------------------------
+// HTTP wire types
+
+// sessionResponse describes a session to the client.
+type sessionResponse struct {
+	ID            string      `json:"id"`
+	Nodes         int         `json:"nodes"`
+	Edges         int         `json:"edges"`
+	Targets       [][2]string `json:"targets"`
+	Pattern       string      `json:"pattern"`
+	Created       time.Time   `json:"created"`
+	Runs          int64       `json:"runs"`
+	DeltasApplied int64       `json:"deltas_applied"`
+	IndexBuilds   int         `json:"index_builds"`
+}
+
+// deltaRequest is one batch of graph mutations against a session, in the
+// session's node labels.
+type deltaRequest struct {
+	Insert    [][2]string `json:"insert,omitempty"`
+	Remove    [][2]string `json:"remove,omitempty"`
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+}
+
+// deltaResponse reports one applied delta.
+type deltaResponse struct {
+	Inserted        int     `json:"inserted"`
+	Removed         int     `json:"removed"`
+	Nodes           int     `json:"nodes"`
+	Edges           int     `json:"edges"`
+	Incremental     bool    `json:"incremental"`
+	TouchedTargets  int     `json:"touched_targets"`
+	KilledInstances int     `json:"killed_instances"`
+	Instances       int     `json:"instances"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+}
+
+// sessionProtectRequest is a per-run override set for a session protect
+// call. Omitted fields inherit the session's construction-time options
+// (pointer fields distinguish "omitted" from explicit zeros, so budget 0 —
+// the critical budget — remains expressible per run).
+type sessionProtectRequest struct {
+	Method       string `json:"method,omitempty"`
+	Division     string `json:"division,omitempty"`
+	Engine       string `json:"engine,omitempty"`
+	Budget       *int   `json:"budget,omitempty"`
+	Seed         *int64 `json:"seed,omitempty"`
+	Workers      *int   `json:"workers,omitempty"`
+	TimeoutMS    int64  `json:"timeout_ms,omitempty"`
+	OmitReleased bool   `json:"omit_released,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+// handleSessionCreate builds a long-lived session from the same payload as
+// /v1/protect (graph + targets + options become the session's defaults).
+// Nothing is enumerated yet: the motif index is built by the first protect
+// call and maintained incrementally by deltas afterwards.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req protectRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decoding request: " + err.Error()})
+		return
+	}
+	// Cheap validation before queueing for a work slot, so malformed
+	// requests fail fast — same discipline as /v1/protect.
+	opts, err := s.validateProtectRequest(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		writeRunError(w, ctx.Err())
+		return
+	}
+	session, lab, err := req.newSession(ctx, opts)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			writeRunError(w, ctxErr)
+		} else {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	now := time.Now()
+	rec := &sessionRecord{
+		session:       session,
+		lab:           lab,
+		pattern:       opts.pattern.String(),
+		defaultBudget: req.Budget,
+		created:       now,
+		lastUsed:      now,
+	}
+	// The response is assembled before add publishes the record: once the
+	// id is out in the store, concurrent requests may already be mutating
+	// the session.
+	info := s.sessionInfo("", rec)
+	info.ID = s.sessions.add(rec)
+	s.stats.sessionsCreated.Add(1)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) sessionInfo(id string, rec *sessionRecord) sessionResponse {
+	p := rec.session.Problem()
+	return sessionResponse{
+		ID:            id,
+		Nodes:         p.G.NumNodes(),
+		Edges:         p.G.NumEdges(),
+		Targets:       edgePairs(p.Targets, rec.lab),
+		Pattern:       rec.pattern,
+		Created:       rec.created,
+		Runs:          rec.runs,
+		DeltasApplied: rec.deltas,
+		IndexBuilds:   rec.session.IndexBuilds(),
+	}
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.sessions.acquire(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeRunError(w, err)
+		return
+	}
+	if rec == nil {
+		writeSessionNotFound(w, r.PathValue("id"))
+		return
+	}
+	defer s.sessions.release(rec)
+	writeJSON(w, http.StatusOK, s.sessionInfo(rec.id, rec))
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.sessions.acquire(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeRunError(w, err)
+		return
+	}
+	if rec == nil {
+		writeSessionNotFound(w, r.PathValue("id"))
+		return
+	}
+	s.sessions.remove(rec)
+	<-rec.slot
+	s.stats.sessionsClosed.Add(1)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted", "id": rec.id})
+}
+
+// handleSessionDelta applies one batch of edge insertions/removals to the
+// session's graph and incrementally maintains its motif index, so the next
+// protect call pays for the delta, not the graph.
+func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
+	var req deltaRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decoding request: " + err.Error()})
+		return
+	}
+	// Lock order is always semaphore → record mutex: a request queueing
+	// for a work slot must not hold the session lock, or cheap GET/DELETE
+	// calls on the same session would hang behind work that has not even
+	// started.
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		writeRunError(w, ctx.Err())
+		return
+	}
+	semHeld := true
+	releaseSem := func() {
+		if semHeld {
+			<-s.sem
+			semHeld = false
+		}
+	}
+	defer releaseSem()
+	rec, err := s.sessions.acquire(ctx, r.PathValue("id"))
+	if err != nil {
+		writeRunError(w, err)
+		return
+	}
+	if rec == nil {
+		writeSessionNotFound(w, r.PathValue("id"))
+		return
+	}
+	recHeld := true
+	releaseRec := func() {
+		if recHeld {
+			s.sessions.release(rec)
+			recHeld = false
+		}
+	}
+	defer releaseRec()
+
+	d, err := resolveDelta(&req, rec.lab)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	rep, err := rec.session.Apply(ctx, d)
+	if err != nil {
+		writeRunError(w, err)
+		return
+	}
+	rec.deltas++
+	s.stats.deltasApplied.Add(1)
+	ns := int64(rep.Elapsed)
+	s.stats.deltaNanos.Add(ns)
+	s.stats.lastDeltaNanos.Store(ns)
+	resp := deltaResponse{
+		Inserted:        rep.Inserted,
+		Removed:         rep.Removed,
+		Nodes:           rep.Nodes,
+		Edges:           rep.Edges,
+		Incremental:     rep.Incremental,
+		TouchedTargets:  rep.IndexStats.TouchedTargets,
+		KilledInstances: rep.IndexStats.KilledInstances,
+		Instances:       rep.IndexStats.Instances,
+		ElapsedMS:       float64(rep.Elapsed.Microseconds()) / 1000,
+	}
+	// All CPU-bound work is done: hand back the slot and the session
+	// before streaming the response to a possibly-slow client.
+	releaseRec()
+	releaseSem()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// resolveDelta maps the request's labelled edge pairs into a Delta.
+// Unknown labels are the client's mistake; structural problems (self loops,
+// conflicts, absent/present edges, target links) are caught by the
+// session's own validation and surface as dynamic.ErrInvalid.
+func resolveDelta(req *deltaRequest, lab *graph.Labeling) (dynamic.Delta, error) {
+	resolve := func(pairs [][2]string, kind string) ([]graph.Edge, error) {
+		out := make([]graph.Edge, 0, len(pairs))
+		for _, p := range pairs {
+			u, ok := lab.ToID[p[0]]
+			if !ok {
+				return nil, fmt.Errorf("%s node %q not in session graph", kind, p[0])
+			}
+			v, ok := lab.ToID[p[1]]
+			if !ok {
+				return nil, fmt.Errorf("%s node %q not in session graph", kind, p[1])
+			}
+			out = append(out, graph.Edge{U: u, V: v})
+		}
+		return out, nil
+	}
+	ins, err := resolve(req.Insert, "insert")
+	if err != nil {
+		return dynamic.Delta{}, err
+	}
+	rem, err := resolve(req.Remove, "remove")
+	if err != nil {
+		return dynamic.Delta{}, err
+	}
+	return dynamic.Delta{Insert: ins, Remove: rem}, nil
+}
+
+// handleSessionProtect runs one protection request on the session's current
+// graph, reusing (and, after deltas, incrementally-updated) cached state.
+func (s *Server) handleSessionProtect(w http.ResponseWriter, r *http.Request) {
+	var req sessionProtectRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	// An empty body is legal: it means "run with the session's defaults".
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decoding request: " + err.Error()})
+		return
+	}
+	var opts []tpp.Option
+	if req.Method != "" {
+		m, err := tpp.ParseMethod(req.Method)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		opts = append(opts, tpp.WithMethod(m))
+	}
+	if req.Division != "" {
+		d, err := tpp.ParseDivision(req.Division)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		opts = append(opts, tpp.WithDivision(d))
+	}
+	if req.Engine != "" {
+		e, err := tpp.ParseEngine(req.Engine)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		opts = append(opts, tpp.WithEngine(e))
+	}
+	if req.Budget != nil {
+		opts = append(opts, tpp.WithBudget(*req.Budget))
+	}
+	if req.Seed != nil {
+		opts = append(opts, tpp.WithSeed(*req.Seed))
+	}
+	if req.Workers != nil {
+		if *req.Workers < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("negative workers %d", *req.Workers)})
+			return
+		}
+		opts = append(opts, tpp.WithWorkers(*req.Workers))
+	}
+
+	// Same lock order as the delta handler: semaphore first, session lock
+	// second, both handed back before the response write.
+	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		writeRunError(w, ctx.Err())
+		return
+	}
+	semHeld := true
+	releaseSem := func() {
+		if semHeld {
+			<-s.sem
+			semHeld = false
+		}
+	}
+	defer releaseSem()
+	rec, err := s.sessions.acquire(ctx, r.PathValue("id"))
+	if err != nil {
+		writeRunError(w, err)
+		return
+	}
+	if rec == nil {
+		writeSessionNotFound(w, r.PathValue("id"))
+		return
+	}
+	recHeld := true
+	releaseRec := func() {
+		if recHeld {
+			s.sessions.release(rec)
+			recHeld = false
+		}
+	}
+	defer releaseRec()
+
+	s.stats.totalRequests.Add(1)
+	s.stats.liveSessions.Add(1)
+	res, err := rec.session.Run(ctx, opts...)
+	s.stats.liveSessions.Add(-1)
+	s.recordSessionStats(rec)
+	if err != nil {
+		writeRunError(w, err)
+		return
+	}
+	rec.runs++
+
+	p := rec.session.Problem()
+	budget := rec.defaultBudget
+	if req.Budget != nil {
+		budget = *req.Budget
+	}
+	resp := protectResponse{
+		Method:            res.Method,
+		Nodes:             p.G.NumNodes(),
+		Edges:             p.G.NumEdges(),
+		Targets:           edgePairs(p.Targets, rec.lab),
+		Budget:            budget,
+		Protectors:        edgePairs(res.Protectors, rec.lab),
+		InitialSimilarity: res.SimilarityTrace[0],
+		FinalSimilarity:   res.FinalSimilarity(),
+		FullProtection:    res.FullProtection(),
+		SimilarityTrace:   res.SimilarityTrace,
+		ElapsedMS:         float64(res.Elapsed.Microseconds()) / 1000,
+	}
+	if !req.OmitReleased {
+		resp.ReleasedEdges = edgePairs(rec.session.Release(res).Edges(), rec.lab)
+	}
+	releaseRec()
+	releaseSem()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordSessionStats folds a session's index-build counters into the
+// aggregates, adding only what changed since the last fold so repeated
+// protect calls on the same long-lived session count each enumeration once.
+func (s *Server) recordSessionStats(rec *sessionRecord) {
+	builds := int64(rec.session.IndexBuilds())
+	ns := int64(rec.session.IndexBuildTime())
+	if db := builds - rec.statBuilds; db > 0 {
+		s.stats.indexBuilds.Add(db)
+		s.stats.enumNanos.Add(ns - rec.statEnumNs)
+		s.stats.lastEnumNanos.Store(ns - rec.statEnumNs)
+	}
+	rec.statBuilds, rec.statEnumNs = builds, ns
+}
+
+func writeSessionNotFound(w http.ResponseWriter, id string) {
+	writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown session %q (expired, deleted, or never created)", id)})
+}

@@ -1,0 +1,289 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newSessionTestServer starts a service with the given session TTL and
+// returns it alongside the test HTTP front end.
+func newSessionTestServer(t *testing.T, ttl time.Duration) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(2, 1<<20, 30*time.Second, 0, ttl)
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func doJSON(t *testing.T, method, url string, payload any) (*http.Response, []byte) {
+	t.Helper()
+	var body bytes.Buffer
+	if payload != nil {
+		if err := json.NewEncoder(&body).Encode(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func createQuickstartSession(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", protectRequest{
+		Edges:   quickstartEdges,
+		Targets: [][2]string{{"0", "5"}, {"2", "7"}},
+		Pattern: "Triangle",
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", resp.StatusCode, body)
+	}
+	var out sessionResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding create response: %v\n%s", err, body)
+	}
+	if out.ID == "" || out.Nodes != 10 || out.Edges != len(quickstartEdges) {
+		t.Fatalf("unexpected session info: %+v", out)
+	}
+	return out.ID
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	_, ts := newSessionTestServer(t, 0)
+	id := createQuickstartSession(t, ts)
+
+	// Two protect calls: the second reuses the cached index.
+	for i := 0; i < 2; i++ {
+		resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/protect", sessionProtectRequest{})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("protect %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var out protectResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !out.FullProtection {
+			t.Fatalf("protect %d: expected full protection: %+v", i, out)
+		}
+	}
+	resp, body := doJSON(t, http.MethodGet, ts.URL+"/v1/sessions/"+id, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get: status %d: %s", resp.StatusCode, body)
+	}
+	var info sessionResponse
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Runs != 2 || info.IndexBuilds != 1 {
+		t.Fatalf("info = %+v, want 2 runs from 1 index build", info)
+	}
+
+	resp, body = doJSON(t, http.MethodDelete, ts.URL+"/v1/sessions/"+id, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d: %s", resp.StatusCode, body)
+	}
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/protect", sessionProtectRequest{})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("protect after delete: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSessionDeltaMatchesOneShot is the HTTP face of the parity guarantee:
+// protecting after a delta must equal a one-shot protect of the mutated
+// graph.
+func TestSessionDeltaMatchesOneShot(t *testing.T) {
+	_, ts := newSessionTestServer(t, 0)
+	id := createQuickstartSession(t, ts)
+
+	// Warm the index, then mutate: drop 8-9, add 1-7 and 3-5.
+	if resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/protect", sessionProtectRequest{}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm protect: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/delta", deltaRequest{
+		Insert: [][2]string{{"1", "7"}, {"3", "5"}},
+		Remove: [][2]string{{"8", "9"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta: status %d: %s", resp.StatusCode, body)
+	}
+	var drep deltaResponse
+	if err := json.Unmarshal(body, &drep); err != nil {
+		t.Fatal(err)
+	}
+	if !drep.Incremental || drep.Inserted != 2 || drep.Removed != 1 {
+		t.Fatalf("delta response = %+v, want incremental apply of 2+1 edges", drep)
+	}
+	if drep.Edges != len(quickstartEdges)+1 {
+		t.Fatalf("delta response edges = %d, want %d", drep.Edges, len(quickstartEdges)+1)
+	}
+
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/protect", sessionProtectRequest{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("protect after delta: status %d: %s", resp.StatusCode, body)
+	}
+	var got protectResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+
+	// One-shot request on the externally mutated edge list. The original
+	// edge order is preserved (insertions appended) so both graphs intern
+	// node labels identically — selections are only comparable under the
+	// same node numbering.
+	var mutated [][2]string
+	for _, e := range quickstartEdges {
+		if e != [2]string{"8", "9"} {
+			mutated = append(mutated, e)
+		}
+	}
+	mutated = append(mutated, [2]string{"1", "7"}, [2]string{"3", "5"})
+	resp, body = postProtect(t, ts, protectRequest{
+		Edges:   mutated,
+		Targets: [][2]string{{"0", "5"}, {"2", "7"}},
+		Pattern: "Triangle",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("one-shot: status %d: %s", resp.StatusCode, body)
+	}
+	var want protectResponse
+	if err := json.Unmarshal(body, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Protectors) != len(want.Protectors) {
+		t.Fatalf("session selected %d protectors, one-shot %d", len(got.Protectors), len(want.Protectors))
+	}
+	for i := range want.Protectors {
+		if got.Protectors[i] != want.Protectors[i] {
+			t.Fatalf("protector %d: session %v, one-shot %v", i, got.Protectors[i], want.Protectors[i])
+		}
+	}
+	if got.InitialSimilarity != want.InitialSimilarity || got.FinalSimilarity != want.FinalSimilarity {
+		t.Fatalf("similarities (%d→%d) differ from one-shot (%d→%d)",
+			got.InitialSimilarity, got.FinalSimilarity, want.InitialSimilarity, want.FinalSimilarity)
+	}
+}
+
+func TestSessionDeltaRejections(t *testing.T) {
+	_, ts := newSessionTestServer(t, 0)
+	id := createQuickstartSession(t, ts)
+	cases := []struct {
+		name string
+		req  deltaRequest
+	}{
+		{"unknown label", deltaRequest{Insert: [][2]string{{"0", "nope"}}}},
+		{"insert existing", deltaRequest{Insert: [][2]string{{"0", "1"}}}},
+		{"remove absent", deltaRequest{Remove: [][2]string{{"0", "9"}}}},
+		{"remove target", deltaRequest{Remove: [][2]string{{"0", "5"}}}},
+		{"self loop", deltaRequest{Insert: [][2]string{{"4", "4"}}}},
+		{"insert+remove conflict", deltaRequest{Insert: [][2]string{{"1", "9"}}, Remove: [][2]string{{"9", "1"}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/delta", tc.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+			}
+		})
+	}
+	// The session must still work after every rejection.
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/protect", sessionProtectRequest{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("protect after rejections: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestSessionTTLEviction(t *testing.T) {
+	srv, ts := newSessionTestServer(t, 50*time.Millisecond)
+	id := createQuickstartSession(t, ts)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body := doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil)
+		var st statsResponse
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.SessionsEvicted >= 1 && st.SessionsOpen == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session not evicted before deadline; stats %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/sessions/"+id, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after eviction: status %d, want 404", resp.StatusCode)
+	}
+	srv.Close() // idempotent with the cleanup; exercises double close
+}
+
+// TestSessionConcurrentDeltaProtect hammers one session with interleaved
+// delta and protect traffic — the subsystem's new race surface. Run under
+// -race in CI; correctness here is "no 5xx, no torn state".
+func TestSessionConcurrentDeltaProtect(t *testing.T) {
+	_, ts := newSessionTestServer(t, time.Minute)
+	id := createQuickstartSession(t, ts)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if w%2 == 0 {
+					// Writers toggle a private edge per worker: insert on
+					// even rounds, remove on odd, so each delta is valid.
+					pair := [2]string{"8", fmt.Sprintf("%d", w/2)} // 8-0, 8-2: absent initially
+					var req deltaRequest
+					if i%2 == 0 {
+						req.Insert = [][2]string{pair}
+					} else {
+						req.Remove = [][2]string{pair}
+					}
+					resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/delta", req)
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Sprintf("writer %d round %d: status %d: %s", w, i, resp.StatusCode, body)
+						return
+					}
+				} else {
+					resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/protect", sessionProtectRequest{OmitReleased: true})
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Sprintf("reader %d round %d: status %d: %s", w, i, resp.StatusCode, body)
+						return
+					}
+					var out protectResponse
+					if err := json.Unmarshal(body, &out); err != nil {
+						errs <- fmt.Sprintf("reader %d round %d: %v", w, i, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,79 @@
+// Evolving: track a changing social graph with one long-lived session.
+//
+// The paper protects a static snapshot, but real social graphs churn
+// continuously — friendships form and dissolve every minute. This example
+// drives a tpp.Protector session through a seeded churn stream
+// (gen.NewChurn): each round applies a batch of edge insertions and
+// removals with session.Apply, which mutates the session's graph and
+// incrementally maintains its motif index (time proportional to the delta,
+// not the graph), then re-protects on the updated state. The selections
+// after every delta are bit-identical to a fresh session built on the
+// mutated graph — the index never has to be re-enumerated.
+//
+// Run with: go run ./examples/evolving
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/motif"
+	"repro/internal/tpp"
+)
+
+func main() {
+	// A DBLP-like collaboration network and 96 sensitive links to protect
+	// across its whole lifetime.
+	ds := datasets.DBLPSim(3000, 7)
+	rng := rand.New(rand.NewSource(7))
+	targets := datasets.SampleTargets(ds.Graph, 96, rng)
+	fmt.Printf("graph: %d nodes, %d edges; %d targets under Rectangle threat model\n",
+		ds.Graph.NumNodes(), ds.Graph.NumEdges(), len(targets))
+
+	session, err := tpp.New(ds.Graph, targets, tpp.WithPattern(motif.Rectangle))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// First protection pays the one-time subgraph enumeration.
+	start := time.Now()
+	res, err := session.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round 0: k* = %d protectors in %v (index enumeration %v)\n",
+		len(res.Protectors), time.Since(start).Round(time.Microsecond),
+		session.IndexBuildTime().Round(time.Microsecond))
+
+	// The graph now evolves: 40 mutations per round (half insertions, half
+	// removals), never touching the protected target links.
+	churn := gen.NewChurn(ds.Graph, targets, 0.5, rng)
+	for round := 1; round <= 5; round++ {
+		ins, rem := churn.Next(40)
+		rep, err := session.Apply(ctx, dynamic.Delta{Insert: ins, Remove: rem})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := session.Run(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("round %d: +%d/-%d edges applied in %v (re-enumerated %d/%d targets, killed %d instances) → k* = %d, final similarity %d\n",
+			round, rep.Inserted, rep.Removed, rep.Elapsed.Round(time.Microsecond),
+			rep.IndexStats.TouchedTargets, len(targets), rep.IndexStats.KilledInstances,
+			len(res.Protectors), res.FinalSimilarity())
+	}
+
+	fmt.Printf("\nafter %d deltas: index enumerations %d (the incremental path never rebuilt)\n",
+		session.DeltasApplied(), session.IndexBuilds())
+	fmt.Printf("total delta-apply time %v (first apply includes the one-time copy-on-write graph clone) vs %v of enumeration a rebuild-per-delta design would have re-paid %d times\n",
+		session.DeltaApplyTime().Round(time.Microsecond),
+		session.IndexBuildTime().Round(time.Microsecond), session.DeltasApplied())
+}

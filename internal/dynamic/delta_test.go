@@ -1,0 +1,102 @@
+package dynamic
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestDeltaCanonicalize(t *testing.T) {
+	d := Delta{
+		Insert: []graph.Edge{{U: 5, V: 2}, {U: 2, V: 5}, {U: 1, V: 3}},
+		Remove: []graph.Edge{{U: 4, V: 0}},
+	}
+	c, err := d.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIns := []graph.Edge{{U: 1, V: 3}, {U: 2, V: 5}}
+	if len(c.Insert) != len(wantIns) {
+		t.Fatalf("insert = %v, want %v", c.Insert, wantIns)
+	}
+	for i, e := range wantIns {
+		if c.Insert[i] != e {
+			t.Fatalf("insert = %v, want %v", c.Insert, wantIns)
+		}
+	}
+	if len(c.Remove) != 1 || (c.Remove[0] != graph.Edge{U: 0, V: 4}) {
+		t.Fatalf("remove = %v, want [0-4]", c.Remove)
+	}
+	if c.Size() != 3 || c.Empty() {
+		t.Fatalf("size = %d, empty = %v", c.Size(), c.Empty())
+	}
+}
+
+func TestDeltaCanonicalizeRejects(t *testing.T) {
+	if _, err := (Delta{Insert: []graph.Edge{{U: 3, V: 3}}}).Canonicalize(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("self loop: err = %v, want ErrInvalid", err)
+	}
+	conflict := Delta{
+		Insert: []graph.Edge{{U: 1, V: 2}},
+		Remove: []graph.Edge{{U: 2, V: 1}},
+	}
+	if _, err := conflict.Canonicalize(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("insert+remove conflict: err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestDeltaValidate(t *testing.T) {
+	g := gen.Path(6) // 0-1-2-3-4-5
+	targets := []graph.Edge{{U: 2, V: 3}}
+	cases := []struct {
+		name string
+		d    Delta
+		ok   bool
+	}{
+		{"valid", Delta{Insert: []graph.Edge{{U: 0, V: 2}}, Remove: []graph.Edge{{U: 4, V: 5}}}, true},
+		{"insert existing", Delta{Insert: []graph.Edge{{U: 0, V: 1}}}, false},
+		{"remove absent", Delta{Remove: []graph.Edge{{U: 0, V: 5}}}, false},
+		{"insert out of range", Delta{Insert: []graph.Edge{{U: 0, V: 9}}}, false},
+		{"remove target", Delta{Remove: []graph.Edge{{U: 2, V: 3}}}, false},
+		{"empty", Delta{}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.d.Validate(g, targets)
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && !errors.Is(err, ErrInvalid) {
+				t.Fatalf("err = %v, want ErrInvalid", err)
+			}
+		})
+	}
+	// Target insertion must be rejected even on the phase-1 graph, where the
+	// target link is absent and would otherwise look like a fresh edge.
+	phase1 := g.Clone()
+	phase1.RemoveEdges(targets)
+	ins := Delta{Insert: []graph.Edge{{U: 2, V: 3}}}
+	if err := ins.Validate(phase1, targets); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("target insertion on phase-1 graph: err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestDeltaApplyToGraph(t *testing.T) {
+	g := gen.Cycle(5)
+	d, err := (Delta{
+		Insert: []graph.Edge{{U: 0, V: 2}},
+		Remove: []graph.Edge{{U: 3, V: 4}},
+	}).Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	d.ApplyToGraph(g)
+	if !g.HasEdge(0, 2) || g.HasEdge(3, 4) || g.NumEdges() != 5 {
+		t.Fatalf("graph after apply: %v (0-2 present=%v, 3-4 present=%v)", g, g.HasEdge(0, 2), g.HasEdge(3, 4))
+	}
+}

@@ -1,0 +1,167 @@
+// Package dynamic maintains TPP protection state over an evolving graph.
+//
+// The paper protects a static snapshot, but the social graphs it models
+// change continuously. This package defines the unit of change — a Delta,
+// a validated and canonicalized batch of edge insertions and removals —
+// and the contract for applying one to a graph and its motif index with
+// the dominant cost — subgraph enumeration — proportional to the delta's
+// reach instead of the graph: removals kill exactly the incident motif
+// instances through the index's CSR edge → instance table, and insertions
+// re-enumerate only the targets they can possibly complete an instance for
+// (motif.Index.ApplyDelta; the flat-array rewire that follows costs the
+// same as an index Reset). The updated
+// index is bit-identical — similarities, gains, selections — to a fresh
+// motif.NewIndex on the mutated graph; the property tests in this package
+// pin that guarantee down across patterns, worker counts and random delta
+// streams.
+//
+// Up the stack, tpp.Protector.Apply threads a Delta through a long-lived
+// protection session, and cmd/tppd exposes session-scoped deltas over HTTP.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"repro/internal/graph"
+	"repro/internal/motif"
+)
+
+// ErrInvalid is wrapped by every delta validation failure, so protocol
+// boundaries (cmd/tppd maps it to HTTP 400) can distinguish caller mistakes
+// from internal failures with errors.Is.
+var ErrInvalid = errors.New("dynamic: invalid delta")
+
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+}
+
+// Delta is one batch of graph mutations: edges to insert and edges to
+// remove, applied atomically (removals first, then insertions — the order
+// is unobservable because Canonicalize rejects overlap between the lists).
+type Delta struct {
+	Insert []graph.Edge
+	Remove []graph.Edge
+}
+
+// Empty reports whether the delta mutates nothing.
+func (d Delta) Empty() bool { return len(d.Insert) == 0 && len(d.Remove) == 0 }
+
+// Size returns the number of edge mutations in the delta.
+func (d Delta) Size() int { return len(d.Insert) + len(d.Remove) }
+
+// Canonicalize returns the delta's normal form: every edge canonical
+// (U < V), each list sorted and deduplicated. It fails if an edge is a self
+// loop or appears in both lists (an insert+remove of the same edge has no
+// coherent batch semantics).
+func (d Delta) Canonicalize() (Delta, error) {
+	ins, err := canonEdges(d.Insert, "insertion")
+	if err != nil {
+		return Delta{}, err
+	}
+	rem, err := canonEdges(d.Remove, "removal")
+	if err != nil {
+		return Delta{}, err
+	}
+	// Both lists are sorted: one merge walk finds any overlap.
+	for i, j := 0, 0; i < len(ins) && j < len(rem); {
+		switch {
+		case ins[i] == rem[j]:
+			return Delta{}, invalidf("edge %v appears as both insertion and removal", ins[i])
+		case ins[i].Less(rem[j]):
+			i++
+		default:
+			j++
+		}
+	}
+	return Delta{Insert: ins, Remove: rem}, nil
+}
+
+func canonEdges(es []graph.Edge, kind string) ([]graph.Edge, error) {
+	if len(es) == 0 {
+		return nil, nil
+	}
+	out := make([]graph.Edge, 0, len(es))
+	for _, e := range es {
+		if e.U == e.V {
+			return nil, invalidf("%s %d-%d is a self loop", kind, e.U, e.V)
+		}
+		if !e.Canonical() {
+			e = graph.Edge{U: e.V, V: e.U}
+		}
+		out = append(out, e)
+	}
+	graph.SortEdges(out)
+	return slices.Compact(out), nil
+}
+
+// Validate checks a canonical delta against the graph it is about to mutate
+// and the protected target links. Insertions must reference existing nodes
+// and be absent from g; removals must be present; neither may touch a
+// target link — the target set is the session's identity, and mutating it
+// would silently change what is being protected. Pass the original graph
+// (targets present) or the phase-1 graph (targets removed); the target
+// check is independent of which.
+func (d Delta) Validate(g *graph.Graph, targets []graph.Edge) error {
+	tset := make(map[graph.Edge]struct{}, len(targets))
+	for _, t := range targets {
+		if !t.Canonical() {
+			t = graph.Edge{U: t.V, V: t.U}
+		}
+		tset[t] = struct{}{}
+	}
+	n := graph.NodeID(g.NumNodes())
+	for _, e := range d.Insert {
+		if e.U < 0 || e.V >= n {
+			return invalidf("insertion %v references a node outside [0,%d)", e, n)
+		}
+		if _, ok := tset[e]; ok {
+			return invalidf("insertion %v is a protected target link", e)
+		}
+		if g.HasEdgeE(e) {
+			return invalidf("insertion %v already present in the graph", e)
+		}
+	}
+	for _, e := range d.Remove {
+		if e.U < 0 || e.V >= n {
+			return invalidf("removal %v references a node outside [0,%d)", e, n)
+		}
+		if _, ok := tset[e]; ok {
+			return invalidf("removal %v is a protected target link", e)
+		}
+		if !g.HasEdgeE(e) {
+			return invalidf("removal %v not present in the graph", e)
+		}
+	}
+	return nil
+}
+
+// ApplyToGraph mutates g in place: removals first, then insertions. The
+// delta must have passed Validate against g (or a graph with the same edge
+// membership for the delta's edges); on a validated delta every removal
+// and insertion takes effect.
+func (d Delta) ApplyToGraph(g *graph.Graph) {
+	for _, e := range d.Remove {
+		g.RemoveEdgeE(e)
+	}
+	for _, e := range d.Insert {
+		g.AddEdgeE(e)
+	}
+}
+
+// Apply is the package's one-call path for index-bearing callers: it
+// canonicalizes and validates d against the phase-1 graph g and the index's
+// targets, mutates g, and incrementally maintains ix via ApplyDelta. On a
+// validation error, g and ix are untouched.
+func Apply(g *graph.Graph, ix *motif.Index, d Delta) (motif.ApplyStats, error) {
+	d, err := d.Canonicalize()
+	if err != nil {
+		return motif.ApplyStats{}, err
+	}
+	if err := d.Validate(g, ix.Targets()); err != nil {
+		return motif.ApplyStats{}, err
+	}
+	d.ApplyToGraph(g)
+	return ix.ApplyDelta(g, d.Insert, d.Remove)
+}

@@ -1,0 +1,223 @@
+package dynamic
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/motif"
+)
+
+// checkIndexParity asserts that got (an incrementally maintained index) is
+// observationally identical to a from-scratch index on the same graph:
+// per-target similarities, edge-keyed gains over both universes, per-target
+// gain splits, and the full greedy selection sequence (argmax + delete until
+// exhaustion — the drain exercises heap order, hence tie-breaking, hence
+// the bit-identical-selections guarantee). got is restored with Reset.
+func checkIndexParity(t *testing.T, got, want *motif.Index) {
+	t.Helper()
+	if g, w := got.TotalSimilarity(), want.TotalSimilarity(); g != w {
+		t.Fatalf("total similarity: got %d, want %d", g, w)
+	}
+	gs, ws := got.Similarities(), want.Similarities()
+	for ti := range ws {
+		if gs[ti] != ws[ti] {
+			t.Fatalf("similarity of target %d: got %d, want %d", ti, gs[ti], ws[ti])
+		}
+	}
+	if g, w := got.NumInstances(), want.NumInstances(); g != w {
+		t.Fatalf("instances: got %d, want %d", g, w)
+	}
+	// Gains must agree as edge-keyed quantities over the union of the two
+	// universes (an edge absent from one has gain 0 there).
+	gotEdges, wantEdges := got.AllTouchedEdges(), want.AllTouchedEdges()
+	if len(gotEdges) != len(wantEdges) {
+		t.Fatalf("universe size: got %d, want %d", len(gotEdges), len(wantEdges))
+	}
+	for i, e := range wantEdges {
+		if gotEdges[i] != e {
+			t.Fatalf("universe edge %d: got %v, want %v", i, gotEdges[i], e)
+		}
+		if g, w := got.Gain(e), want.Gain(e); g != w {
+			t.Fatalf("gain(%v): got %d, want %d", e, g, w)
+		}
+		for ti := range ws {
+			gw, gt := got.GainForTarget(e, ti)
+			ww, wt := want.GainForTarget(e, ti)
+			if gw != ww || gt != wt {
+				t.Fatalf("gainForTarget(%v, %d): got (%d,%d), want (%d,%d)", e, ti, gw, gt, ww, wt)
+			}
+		}
+	}
+	// Greedy drain: the argmax sequences must match step for step.
+	steps := 0
+	for {
+		ge, gg, gok := got.ArgmaxGain()
+		we, wg, wok := want.ArgmaxGain()
+		if gok != wok || ge != we || gg != wg {
+			t.Fatalf("drain step %d: got (%v,%d,%v), want (%v,%d,%v)", steps, ge, gg, gok, we, wg, wok)
+		}
+		if !gok {
+			break
+		}
+		if gb, wb := got.DeleteEdge(ge), want.DeleteEdge(we); gb != wb {
+			t.Fatalf("drain step %d: broke %d instances, want %d", steps, gb, wb)
+		}
+		steps++
+	}
+	got.Reset()
+	want.Reset()
+}
+
+// TestApplyParityRandomStreams is the subsystem's central property test:
+// after every Apply of a random delta batch, the incrementally maintained
+// index must be indistinguishable from a from-scratch NewIndex on the
+// mutated graph — across every motif pattern reachable through the API
+// (Triangle, Rectangle, the combined RecTri, and the Pentagon extension)
+// and across enumeration worker counts.
+func TestApplyParityRandomStreams(t *testing.T) {
+	for _, pattern := range motif.AllPatterns {
+		for _, workers := range []int{1, 3} {
+			pattern, workers := pattern, workers
+			t.Run(fmt.Sprintf("%s/workers=%d", pattern, workers), func(t *testing.T) {
+				t.Parallel()
+				rng := rand.New(rand.NewSource(41*int64(pattern) + int64(workers)))
+				n := 140
+				if pattern == motif.Pentagon {
+					n = 80 // pentagon enumeration is the heaviest kernel
+				}
+				g := gen.BarabasiAlbertTriad(n, 3, 0.4, rng)
+				targets := datasets.SampleTargets(g, 8, rng)
+
+				phase1 := g.Clone()
+				phase1.RemoveEdges(targets)
+				churn := gen.NewChurn(phase1, targets, 0.5, rng)
+
+				ix, err := motif.NewIndexWorkers(churn.Graph(), pattern, targets, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for step := 0; step < 25; step++ {
+					ins, rem := churn.Next(1 + rng.Intn(7))
+					st, err := ix.ApplyDelta(churn.Graph(), ins, rem)
+					if err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+					if st.Inserted != len(ins) || st.Removed != len(rem) {
+						t.Fatalf("step %d: stats (%d,%d), want (%d,%d)", step, st.Inserted, st.Removed, len(ins), len(rem))
+					}
+					fresh, err := motif.NewIndexWorkers(churn.Graph(), pattern, targets, workers)
+					if err != nil {
+						t.Fatalf("step %d: fresh: %v", step, err)
+					}
+					checkIndexParity(t, ix, fresh)
+				}
+			})
+		}
+	}
+}
+
+// TestApplyParityMidSelection pins down that ApplyDelta discards recorded
+// protector deletions, exactly like a fresh build: applying a delta to an
+// index that is mid-selection yields the fully-alive state of the mutated
+// graph.
+func TestApplyParityMidSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.BarabasiAlbertTriad(100, 3, 0.5, rng)
+	targets := datasets.SampleTargets(g, 6, rng)
+	phase1 := g.Clone()
+	phase1.RemoveEdges(targets)
+	churn := gen.NewChurn(phase1, targets, 0.5, rng)
+
+	ix, err := motif.NewIndex(churn.Graph(), motif.Triangle, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a few greedy deletions, then apply a delta on top.
+	for i := 0; i < 3; i++ {
+		if e, _, ok := ix.ArgmaxGain(); ok {
+			ix.DeleteEdge(e)
+		}
+	}
+	ins, rem := churn.Next(6)
+	if _, err := ix.ApplyDelta(churn.Graph(), ins, rem); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := motif.NewIndex(churn.Graph(), motif.Triangle, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIndexParity(t, ix, fresh)
+}
+
+// FuzzApplyParity drives the parity property from raw bytes: each byte
+// pair encodes one mutation attempt on a small scale-free graph, and after
+// every batch the incremental index must equal a fresh rebuild.
+func FuzzApplyParity(f *testing.F) {
+	f.Add([]byte{0x01, 0x23, 0x45, 0x67, 0x89, 0xab})
+	f.Add([]byte{0xff, 0x00, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rng := rand.New(rand.NewSource(3))
+		g := gen.BarabasiAlbertTriad(48, 3, 0.5, rng)
+		targets := datasets.SampleTargets(g, 4, rng)
+		phase1 := g.Clone()
+		phase1.RemoveEdges(targets)
+		tset := make(map[graph.Edge]struct{}, len(targets))
+		for _, e := range targets {
+			tset[e] = struct{}{}
+		}
+
+		ix, err := motif.NewIndex(phase1, motif.Rectangle, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := graph.NodeID(phase1.NumNodes())
+		var d Delta
+		seen := make(map[graph.Edge]struct{})
+		flush := func() {
+			// A new batch may touch any edge again (including reverting a
+			// mutation from the previous batch), so the per-batch dedup
+			// resets with the delta.
+			clear(seen)
+			if d.Empty() {
+				return
+			}
+			if _, err := Apply(phase1, ix, d); err != nil {
+				t.Fatalf("apply %+v: %v", d, err)
+			}
+			fresh, err := motif.NewIndex(phase1, motif.Rectangle, targets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkIndexParity(t, ix, fresh)
+			d = Delta{}
+		}
+		for i := 0; i+1 < len(data); i += 2 {
+			u, v := graph.NodeID(data[i])%n, graph.NodeID(data[i+1])%n
+			if u == v {
+				flush() // reuse degenerate pairs as batch boundaries
+				continue
+			}
+			e := graph.NewEdge(u, v)
+			if _, ok := tset[e]; ok {
+				continue
+			}
+			if _, ok := seen[e]; ok {
+				continue // one mutation per edge per batch
+			}
+			seen[e] = struct{}{}
+			if phase1.HasEdgeE(e) {
+				d.Remove = append(d.Remove, e)
+			} else {
+				d.Insert = append(d.Insert, e)
+			}
+			if d.Size() >= 5 {
+				flush()
+			}
+		}
+		flush()
+	})
+}

@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Churn is a seeded stream of graph mutations: a reproducible source of
+// insert/remove batches for driving dynamic-graph workloads (evolving
+// sessions, incremental-index benchmarks, churn examples). It owns a
+// private evolving copy of the seed graph, so each batch is valid against
+// the state every previous batch produced: insertions are absent, removals
+// are present, and protected edges are never touched.
+type Churn struct {
+	g         *graph.Graph
+	rng       *rand.Rand
+	pInsert   float64
+	protected map[graph.Edge]struct{}
+	pool      []graph.Edge // removable edges of the current graph
+}
+
+// NewChurn starts a churn stream over a clone of g (the input graph is
+// never mutated). protected edges — typically the TPP target links — are
+// excluded from removal and insertion. pInsert is the per-mutation
+// probability of an insertion (the rest are removals); 0.5 keeps the edge
+// count roughly stationary. All randomness comes from rng, so the stream
+// is reproducible from a seed.
+func NewChurn(g *graph.Graph, protected []graph.Edge, pInsert float64, rng *rand.Rand) *Churn {
+	c := &Churn{
+		g:         g.Clone(),
+		rng:       rng,
+		pInsert:   pInsert,
+		protected: make(map[graph.Edge]struct{}, len(protected)),
+	}
+	for _, e := range protected {
+		c.protected[graph.NewEdge(e.U, e.V)] = struct{}{}
+	}
+	for _, e := range c.g.Edges() {
+		if _, ok := c.protected[e]; !ok {
+			c.pool = append(c.pool, e)
+		}
+	}
+	return c
+}
+
+// Graph returns the stream's current graph: the seed graph with every batch
+// emitted so far applied. Callers must treat it as read-only.
+func (c *Churn) Graph() *graph.Graph { return c.g }
+
+// Next produces the next batch of up to k mutations, applies them to the
+// stream's own graph, and returns them sorted canonically. An edge is
+// touched at most once per batch, so (insert, remove) always forms a
+// conflict-free dynamic delta. Fewer than k mutations are returned only
+// when sampling stalls (e.g. a near-complete graph rejects insertions).
+func (c *Churn) Next(k int) (insert, remove []graph.Edge) {
+	touched := make(map[graph.Edge]struct{}, k)
+	n := c.g.NumNodes()
+	for made := 0; made < k; made++ {
+		if c.rng.Float64() < c.pInsert || len(c.pool) == 0 {
+			// Insertion: a uniform absent pair, bounded rejection so dense
+			// graphs cannot stall the stream forever.
+			for tries := 0; tries < 64; tries++ {
+				u := graph.NodeID(c.rng.Intn(n))
+				v := graph.NodeID(c.rng.Intn(n))
+				if u == v {
+					continue
+				}
+				e := graph.NewEdge(u, v)
+				if _, ok := touched[e]; ok {
+					continue
+				}
+				if _, ok := c.protected[e]; ok {
+					continue
+				}
+				if c.g.HasEdgeE(e) {
+					continue
+				}
+				c.g.AddEdgeE(e)
+				c.pool = append(c.pool, e)
+				insert = append(insert, e)
+				touched[e] = struct{}{}
+				break
+			}
+		} else {
+			// Removal: a uniform pool edge not already touched this batch.
+			for tries := 0; tries < 64 && len(c.pool) > 0; tries++ {
+				i := c.rng.Intn(len(c.pool))
+				e := c.pool[i]
+				if _, ok := touched[e]; ok {
+					continue
+				}
+				c.pool[i] = c.pool[len(c.pool)-1]
+				c.pool = c.pool[:len(c.pool)-1]
+				c.g.RemoveEdgeE(e)
+				remove = append(remove, e)
+				touched[e] = struct{}{}
+				break
+			}
+		}
+	}
+	graph.SortEdges(insert)
+	graph.SortEdges(remove)
+	return insert, remove
+}

@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestChurnBatchesAreValidDeltas(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seed := BarabasiAlbertTriad(120, 3, 0.4, rng)
+	protected := seed.Edges()[:5]
+	mirror := seed.Clone()
+
+	c := NewChurn(seed, protected, 0.5, rng)
+	edgesBefore := seed.NumEdges()
+	pset := make(map[graph.Edge]struct{})
+	for _, e := range protected {
+		pset[e] = struct{}{}
+	}
+	for batch := 0; batch < 30; batch++ {
+		ins, rem := c.Next(1 + rng.Intn(8))
+		touched := make(map[graph.Edge]struct{})
+		for _, e := range ins {
+			if _, ok := pset[e]; ok {
+				t.Fatalf("batch %d: inserted protected edge %v", batch, e)
+			}
+			if _, ok := touched[e]; ok {
+				t.Fatalf("batch %d: edge %v touched twice", batch, e)
+			}
+			touched[e] = struct{}{}
+			if mirror.HasEdgeE(e) {
+				t.Fatalf("batch %d: inserted edge %v already present", batch, e)
+			}
+			mirror.AddEdgeE(e)
+		}
+		for _, e := range rem {
+			if _, ok := pset[e]; ok {
+				t.Fatalf("batch %d: removed protected edge %v", batch, e)
+			}
+			if _, ok := touched[e]; ok {
+				t.Fatalf("batch %d: edge %v touched twice", batch, e)
+			}
+			touched[e] = struct{}{}
+			if !mirror.RemoveEdgeE(e) {
+				t.Fatalf("batch %d: removed absent edge %v", batch, e)
+			}
+		}
+		if mirror.NumEdges() != c.Graph().NumEdges() {
+			t.Fatalf("batch %d: mirror has %d edges, churn graph %d", batch, mirror.NumEdges(), c.Graph().NumEdges())
+		}
+	}
+	if seed.NumEdges() != edgesBefore {
+		t.Fatalf("seed graph mutated: %d edges, want %d", seed.NumEdges(), edgesBefore)
+	}
+}
+
+func TestChurnDeterministicPerSeed(t *testing.T) {
+	build := func() ([]graph.Edge, []graph.Edge) {
+		rng := rand.New(rand.NewSource(23))
+		g := BarabasiAlbertTriad(80, 3, 0.3, rng)
+		c := NewChurn(g, nil, 0.6, rng)
+		var allIns, allRem []graph.Edge
+		for i := 0; i < 10; i++ {
+			ins, rem := c.Next(5)
+			allIns = append(allIns, ins...)
+			allRem = append(allRem, rem...)
+		}
+		return allIns, allRem
+	}
+	i1, r1 := build()
+	i2, r2 := build()
+	if len(i1) != len(i2) || len(r1) != len(r2) {
+		t.Fatalf("stream lengths differ: (%d,%d) vs (%d,%d)", len(i1), len(r1), len(i2), len(r2))
+	}
+	for i := range i1 {
+		if i1[i] != i2[i] {
+			t.Fatalf("insertion %d differs: %v vs %v", i, i1[i], i2[i])
+		}
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("removal %d differs: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package motif
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// ApplyStats describes one incremental delta application (ApplyDelta), for
+// observability: how much of the index the delta actually touched, versus
+// the full re-enumeration it avoided.
+type ApplyStats struct {
+	// Inserted and Removed count the delta edges applied.
+	Inserted, Removed int
+	// TouchedTargets counts the targets re-enumerated because an inserted
+	// edge could complete one of their instances. Every other target kept
+	// its instance list verbatim (minus removal kills).
+	TouchedTargets int
+	// KilledInstances counts instances of untouched targets destroyed by
+	// edge removals, found via the CSR edge→instance table.
+	KilledInstances int
+	// Instances is the live instance count after the apply, i.e. the new
+	// s(∅, T).
+	Instances int
+	// Elapsed is the wall-clock cost of the apply.
+	Elapsed time.Duration
+}
+
+// ApplyDelta incrementally rewires the index for a batch of edge mutations.
+// The subgraph enumeration — the dominant cost of a fresh build — shrinks
+// to the delta's reach: only insert-touched targets re-enumerate. The flat
+// arrays (interner, CSR table, gains, heap) are then rewired wholesale in
+// O(universe + instances), the same cheap cost class as Reset; a
+// rebuild-free pure-removal fast path is a ROADMAP follow-up. g must be
+// the phase-1 graph with the delta already applied (removed edges gone,
+// inserted edges present, targets still absent).
+//
+// Removals can only destroy instances; the CSR edge→instance table names
+// exactly the instances each removed edge participated in, so they are
+// killed without touching the graph. Insertions can only create instances,
+// and a new instance must use at least one inserted edge, so only targets
+// for which some inserted edge can sit inside an instance (a local, O(1)
+// adjacency test per target × inserted edge — see insertTouches) are
+// re-enumerated with the same kernels NewIndex uses; all other targets
+// provably keep their instance sets. The flat state is then rebuilt from
+// the stitched per-target buffers by the same builder NewIndex uses, so the
+// resulting index — similarities, gains, candidate universe, heap order and
+// therefore every selection made from it — is bit-identical to a fresh
+// NewIndex on the mutated graph.
+//
+// Any protector deletions recorded on the index (DeleteEdgeID since the
+// last Reset) are discarded, exactly as a fresh build would: an applied
+// index starts fully alive.
+func (ix *Index) ApplyDelta(g *graph.Graph, inserted, removed []graph.Edge) (ApplyStats, error) {
+	start := time.Now()
+	for _, t := range ix.targets {
+		if g.HasEdgeE(t) {
+			return ApplyStats{}, fmt.Errorf("motif: target %v present in mutated graph; deltas must not insert target links", t)
+		}
+	}
+	for _, e := range inserted {
+		if !g.HasEdgeE(e) {
+			return ApplyStats{}, fmt.Errorf("motif: inserted edge %v absent from mutated graph; apply the delta to the graph before the index", e)
+		}
+	}
+	for _, e := range removed {
+		if g.HasEdgeE(e) {
+			return ApplyStats{}, fmt.Errorf("motif: removed edge %v still present in mutated graph; apply the delta to the graph before the index", e)
+		}
+	}
+
+	// Adjacency in the union graph (old ∪ new edge sets): g already reflects
+	// the delta, so union adjacency is g plus the removed edges. The touched
+	// test runs in the union so it soundly covers instances of both the old
+	// and the new graph.
+	removedSet := make(map[graph.Edge]struct{}, len(removed))
+	for _, e := range removed {
+		if !e.Canonical() {
+			e = graph.Edge{U: e.V, V: e.U}
+		}
+		removedSet[e] = struct{}{}
+	}
+	hasUnion := func(x, y graph.NodeID) bool {
+		if x == y {
+			return false
+		}
+		if g.HasEdge(x, y) {
+			return true
+		}
+		_, ok := removedSet[graph.NewEdge(x, y)]
+		return ok
+	}
+
+	touched := make([]bool, len(ix.targets))
+	nTouched := 0
+	for ti, t := range ix.targets {
+		for _, e := range inserted {
+			if insertTouches(ix.pattern, t, e, hasUnion) {
+				touched[ti] = true
+				nTouched++
+				break
+			}
+		}
+	}
+
+	// Kill pass: an instance dies iff it contains a removed edge. The CSR
+	// rows of the removed ids name exactly those instances; removed edges
+	// outside the interned universe participated in none. Instances of
+	// touched targets are skipped — their whole list is replaced below.
+	killed := make([]bool, len(ix.inst))
+	nKilled := 0
+	for _, e := range removed {
+		id := ix.in.ID(e)
+		if id == graph.NoEdge {
+			continue
+		}
+		for _, instID := range ix.instIDs[ix.instStart[id]:ix.instStart[id+1]] {
+			if !killed[instID] && !touched[ix.inst[instID].target] {
+				killed[instID] = true
+				nKilled++
+			}
+		}
+	}
+
+	// Stitch the per-target buffers: survivors keep their edges verbatim
+	// (protector-deletion dead flags are ignored — a rebuild revives them,
+	// exactly like a fresh build); touched targets are re-enumerated on the
+	// mutated graph with the same kernels NewIndex uses.
+	byTarget := make([][]rawInstance, len(ix.targets))
+	for i := range ix.inst {
+		in0 := &ix.inst[i]
+		if touched[in0.target] || killed[i] {
+			continue
+		}
+		var r rawInstance
+		r.ne = in0.ne
+		for j, id := range in0.edges[:in0.ne] {
+			r.edges[j] = ix.in.Edge(id)
+		}
+		byTarget[in0.target] = append(byTarget[in0.target], r)
+	}
+	// Touched targets re-enumerate through the same worker-sharded kernel
+	// the full build uses, so a broad delta (hub insertions flagging many
+	// targets) is never slower than its share of a parallel rebuild.
+	if nTouched > 0 {
+		touchedIdx := make([]int, 0, nTouched)
+		for ti := range ix.targets {
+			if touched[ti] {
+				touchedIdx = append(touchedIdx, ti)
+			}
+		}
+		enumerateInto(g, ix.pattern, ix.targets, touchedIdx, runtime.GOMAXPROCS(0), byTarget)
+	}
+
+	ix.build(g.NumNodes(), byTarget)
+	return ApplyStats{
+		Inserted:        len(inserted),
+		Removed:         len(removed),
+		TouchedTargets:  nTouched,
+		KilledInstances: nKilled,
+		Instances:       len(ix.inst),
+		Elapsed:         time.Since(start),
+	}, nil
+}
+
+// insertTouches reports whether inserting the edge e could create an
+// instance of pattern for target t, judged in the union graph via hasUnion.
+// The test is conservative (it may flag a target that gains nothing) but
+// sound: every edge of every instance of t — in the old or the new graph —
+// satisfies a structural condition this test covers, so a target it clears
+// provably has an unchanged instance set under insertions.
+//
+// The per-pattern conditions follow from where an instance edge can sit
+// relative to the target (u, v):
+//
+//   - Triangle u–w–v: both edges are incident to u or v.
+//   - Rectangle u–a–b–v: end edges are incident to u or v; the middle edge
+//     (a, b) has its endpoints split across N(u) and N(v).
+//   - RecTri: the 2-path edges are incident to u or v; the triangle edges
+//     (u, x) and (x, w) are incident to u or to a common neighbor w of u
+//     and v.
+//   - Pentagon u–a–b–c–v: every edge has at least one endpoint within
+//     distance 1 of u or v.
+func insertTouches(pattern Pattern, t, e graph.Edge, hasUnion func(x, y graph.NodeID) bool) bool {
+	if e.Has(t.U) || e.Has(t.V) {
+		return true
+	}
+	u, v := t.U, t.V
+	x, y := e.U, e.V
+	switch pattern {
+	case Triangle:
+		return false // non-incident edges never sit in a triangle instance
+	case Rectangle:
+		return (hasUnion(x, u) && hasUnion(y, v)) || (hasUnion(y, u) && hasUnion(x, v))
+	case RecTri:
+		return (hasUnion(x, u) && hasUnion(x, v)) || (hasUnion(y, u) && hasUnion(y, v))
+	case Pentagon:
+		return hasUnion(x, u) || hasUnion(x, v) || hasUnion(y, u) || hasUnion(y, v)
+	}
+	panic("motif: invalid pattern")
+}

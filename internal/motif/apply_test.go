@@ -1,0 +1,154 @@
+package motif
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// applyFixture builds a small phase-1 graph with one triangle target:
+// target (0,1) removed, completions through 2 and 3, spare nodes 4..5.
+func applyFixture(t *testing.T) (*graph.Graph, []graph.Edge, *Index) {
+	t.Helper()
+	g := graph.New(6)
+	for _, e := range [][2]graph.NodeID{{0, 2}, {2, 1}, {0, 3}, {3, 1}, {4, 5}} {
+		g.AddEdge(e[0], e[1])
+	}
+	targets := []graph.Edge{{U: 0, V: 1}}
+	ix, err := NewIndex(g, Triangle, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.TotalSimilarity() != 2 {
+		t.Fatalf("fixture similarity = %d, want 2", ix.TotalSimilarity())
+	}
+	return g, targets, ix
+}
+
+func TestApplyDeltaRemovalKillsIncidentInstances(t *testing.T) {
+	g, _, ix := applyFixture(t)
+	rem := graph.Edge{U: 0, V: 2}
+	g.RemoveEdgeE(rem)
+	st, err := ix.ApplyDelta(g, nil, []graph.Edge{rem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.KilledInstances != 1 || st.TouchedTargets != 0 {
+		t.Fatalf("stats = %+v, want 1 kill, 0 touched", st)
+	}
+	if ix.TotalSimilarity() != 1 {
+		t.Fatalf("similarity = %d, want 1", ix.TotalSimilarity())
+	}
+	if ix.Gain(graph.Edge{U: 1, V: 2}) != 0 {
+		t.Fatalf("gain of orphaned leg 1-2 = %d, want 0", ix.Gain(graph.Edge{U: 1, V: 2}))
+	}
+	// The dangling partner edge must have left the candidate universe,
+	// exactly as in a fresh build.
+	for _, e := range ix.AllTouchedEdges() {
+		if e == (graph.Edge{U: 0, V: 2}) || e == (graph.Edge{U: 1, V: 2}) {
+			t.Fatalf("stale edge %v still in universe %v", e, ix.AllTouchedEdges())
+		}
+	}
+}
+
+func TestApplyDeltaInsertionCreatesInstances(t *testing.T) {
+	g, _, ix := applyFixture(t)
+	// Connect spare node 4 to both target endpoints: one new completion.
+	ins := []graph.Edge{{U: 0, V: 4}, {U: 1, V: 4}}
+	for _, e := range ins {
+		g.AddEdgeE(e)
+	}
+	st, err := ix.ApplyDelta(g, ins, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TouchedTargets != 1 {
+		t.Fatalf("stats = %+v, want 1 touched target", st)
+	}
+	if ix.TotalSimilarity() != 3 {
+		t.Fatalf("similarity = %d, want 3", ix.TotalSimilarity())
+	}
+	if ix.Gain(graph.Edge{U: 0, V: 4}) != 1 {
+		t.Fatalf("gain(0-4) = %d, want 1", ix.Gain(graph.Edge{U: 0, V: 4}))
+	}
+}
+
+func TestApplyDeltaUntouchedTargetSkipsEnumeration(t *testing.T) {
+	g, _, ix := applyFixture(t)
+	// A triangle-irrelevant insertion far from the target: no kills, no
+	// touched targets, index state unchanged.
+	ins := []graph.Edge{{U: 3, V: 5}}
+	g.AddEdgeE(ins[0])
+	st, err := ix.ApplyDelta(g, ins, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TouchedTargets != 0 || st.KilledInstances != 0 {
+		t.Fatalf("stats = %+v, want nothing touched", st)
+	}
+	if ix.TotalSimilarity() != 2 {
+		t.Fatalf("similarity = %d, want 2", ix.TotalSimilarity())
+	}
+}
+
+func TestApplyDeltaErrors(t *testing.T) {
+	g, _, ix := applyFixture(t)
+	// Graph not yet mutated: inserted edge absent.
+	if _, err := ix.ApplyDelta(g, []graph.Edge{{U: 0, V: 4}}, nil); err == nil {
+		t.Fatal("want error for inserted edge absent from graph")
+	}
+	// Removed edge still present.
+	if _, err := ix.ApplyDelta(g, nil, []graph.Edge{{U: 0, V: 2}}); err == nil {
+		t.Fatal("want error for removed edge still present")
+	}
+	// Target link present in the graph.
+	g.AddEdge(0, 1)
+	if _, err := ix.ApplyDelta(g, []graph.Edge{{U: 0, V: 1}}, nil); err == nil {
+		t.Fatal("want error for target link present")
+	}
+}
+
+// TestInsertTouchesSound spot-checks the conservative touched test against
+// ground truth on random graphs: whenever inserting an edge changes a
+// target's instance count, insertTouches must have flagged that target.
+func TestInsertTouchesSound(t *testing.T) {
+	for _, pattern := range AllPatterns {
+		pattern := pattern
+		t.Run(pattern.String(), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(pattern) + 100))
+			for trial := 0; trial < 30; trial++ {
+				g := gen.ErdosRenyiGNP(24, 0.12, rng)
+				// Pick a target pair that is a non-edge (phase-1 style).
+				var tgt graph.Edge
+				for {
+					u, v := graph.NodeID(rng.Intn(24)), graph.NodeID(rng.Intn(24))
+					if u != v && !g.HasEdge(u, v) {
+						tgt = graph.NewEdge(u, v)
+						break
+					}
+				}
+				before := Count(g, pattern, tgt)
+				// Insert a random absent edge.
+				var e graph.Edge
+				for {
+					u, v := graph.NodeID(rng.Intn(24)), graph.NodeID(rng.Intn(24))
+					if u != v && !g.HasEdge(u, v) && graph.NewEdge(u, v) != tgt {
+						e = graph.NewEdge(u, v)
+						break
+					}
+				}
+				g.AddEdgeE(e)
+				after := Count(g, pattern, tgt)
+				hasUnion := func(x, y graph.NodeID) bool { return g.HasEdge(x, y) }
+				if after != before && !insertTouches(pattern, tgt, e, hasUnion) {
+					t.Fatalf("trial %d: inserting %v changed count of %v (%d→%d) but insertTouches said no",
+						trial, e, tgt, before, after)
+				}
+				g.RemoveEdgeE(e)
+			}
+		})
+	}
+}

@@ -131,15 +131,29 @@ func NewIndexWorkers(g *graph.Graph, pattern Pattern, targets []graph.Edge, work
 	}
 
 	ix := &Index{
-		pattern:   pattern,
-		targets:   append([]graph.Edge(nil), targets...),
-		perTarget: make([]int, len(targets)),
+		pattern: pattern,
+		targets: append([]graph.Edge(nil), targets...),
 	}
 
-	// Enumerate per target into private buffers. Workers claim targets off
-	// an atomic cursor (reads of g are concurrency-safe); worker count never
-	// changes the per-target instance sets, only who finds them.
 	byTarget := make([][]rawInstance, len(targets))
+	all := make([]int, len(targets))
+	for ti := range all {
+		all[ti] = ti
+	}
+	enumerateInto(g, pattern, targets, all, workers, byTarget)
+
+	ix.build(g.NumNodes(), byTarget)
+	ix.stats = BuildStats{Workers: workers, Instances: len(ix.inst), Elapsed: time.Since(start)}
+	return ix, nil
+}
+
+// enumerateInto enumerates the targets named by indices into their
+// byTarget slots, sharding them across workers claiming indices off an
+// atomic cursor (reads of g are concurrency-safe). Worker count never
+// changes the per-target instance sets, only who finds them, so any
+// downstream merge is deterministic. Both the full build and the
+// incremental apply (touched targets only) enumerate through here.
+func enumerateInto(g *graph.Graph, pattern Pattern, targets []graph.Edge, indices []int, workers int, byTarget [][]rawInstance) {
 	enumerate := func(ti int) {
 		var buf []rawInstance
 		EnumerateTarget(g, pattern, targets[ti], func(edges []graph.Edge) {
@@ -150,29 +164,43 @@ func NewIndexWorkers(g *graph.Graph, pattern Pattern, targets []graph.Edge, work
 		})
 		byTarget[ti] = buf
 	}
-	if workers == 1 {
-		for ti := range targets {
+	if workers > len(indices) {
+		workers = len(indices)
+	}
+	if workers <= 1 {
+		for _, ti := range indices {
 			enumerate(ti)
 		}
-	} else {
-		var cursor atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					ti := int(cursor.Add(1)) - 1
-					if ti >= len(targets) {
-						return
-					}
-					enumerate(ti)
-				}
-			}()
-		}
-		wg.Wait()
+		return
 	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(indices) {
+					return
+				}
+				enumerate(indices[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
 
+// build wires the index's entire flat state — interned edge universe, merged
+// instance table, CSR incidences, gains, deletion bitset and gain heap —
+// from per-target raw instance buffers. It is shared by NewIndexWorkers
+// (buffers fresh from a full enumeration) and ApplyDelta (buffers stitched
+// from surviving and re-enumerated instances): identical buffers produce
+// identical state, which is what the incremental path's bit-for-bit parity
+// guarantee rests on. Any previously recorded protector deletions are
+// discarded — a rebuilt state always starts fully alive, exactly like a
+// fresh build on the same graph.
+func (ix *Index) build(numNodes int, byTarget [][]rawInstance) {
 	// Intern the touched edge universe: exactly the edges appearing in some
 	// instance (the paper's W-edge set). Sorting the packed incidences once
 	// replaces any full-graph sweep — the graph's adjacency maps are never
@@ -200,7 +228,7 @@ func NewIndexWorkers(g *graph.Graph, pattern Pattern, targets []graph.Edge, work
 	for i, p := range packed {
 		universe[i] = unpackEdge(p)
 	}
-	in := graph.NewInternerFromEdges(g.NumNodes(), universe)
+	in := graph.NewInternerFromEdges(numNodes, universe)
 	ix.in = in
 
 	// Deterministic merge: instances land in target order regardless of
@@ -208,6 +236,8 @@ func NewIndexWorkers(g *graph.Graph, pattern Pattern, targets []graph.Edge, work
 	ne := in.NumEdges()
 	ix.gain = make([]int32, ne)
 	ix.inst = make([]indexedInstance, 0, total)
+	ix.perTarget = make([]int, len(byTarget))
+	ix.alive = 0
 	for ti, buf := range byTarget {
 		for _, r := range buf {
 			inst := indexedInstance{target: int32(ti), ne: r.ne}
@@ -224,6 +254,7 @@ func NewIndexWorkers(g *graph.Graph, pattern Pattern, targets []graph.Edge, work
 
 	// Build the CSR incidence table: initial gains double as row lengths.
 	ix.deleted = make([]uint64, (ne+63)/64)
+	ix.nDeleted = 0
 	ix.instStart = make([]int32, ne+1)
 	for id := 0; id < ne; id++ {
 		ix.instStart[id+1] = ix.instStart[id] + ix.gain[id]
@@ -241,8 +272,6 @@ func NewIndexWorkers(g *graph.Graph, pattern Pattern, targets []graph.Edge, work
 
 	ix.heapPos = make([]int32, ne)
 	ix.heapInit()
-	ix.stats = BuildStats{Workers: workers, Instances: total, Elapsed: time.Since(start)}
-	return ix, nil
 }
 
 // Pattern returns the motif pattern the index was built for.

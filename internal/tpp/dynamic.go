@@ -1,0 +1,109 @@
+package tpp
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/motif"
+)
+
+// DeltaReport describes one committed Apply: what changed and how the
+// session's cached state absorbed it.
+type DeltaReport struct {
+	// Inserted and Removed count the canonicalized delta's edge mutations.
+	Inserted, Removed int
+	// Nodes and Edges are the session graph's size after the delta
+	// (target links included).
+	Nodes, Edges int
+	// Incremental reports whether a cached motif index existed and was
+	// maintained in place; false means the session had not built an index
+	// yet, so the next Run pays a fresh (full) enumeration.
+	Incremental bool
+	// IndexStats details the incremental index maintenance (zero value when
+	// Incremental is false).
+	IndexStats motif.ApplyStats
+	// Elapsed is the total wall-clock cost of the Apply.
+	Elapsed time.Duration
+}
+
+// Apply mutates the session's graph by the delta and incrementally
+// maintains the cached motif index, so the session tracks an evolving
+// graph without ever re-enumerating from scratch: the next Run reuses the
+// updated index exactly as if it had been freshly built on the mutated
+// graph (the two are bit-identical — similarities, gains, selections).
+//
+// The delta is canonicalized and validated first — insertions must be new
+// edges between existing nodes, removals must exist, and neither may touch
+// a target link (the target set is the session's identity); validation
+// failures wrap dynamic.ErrInvalid and leave the session untouched. Apply
+// serialises with Run on the session's run slot and honours ctx while
+// waiting for it; like the index enumeration inside Run, the apply itself
+// runs to completion once started (its cost is bounded by the enumeration
+// a fresh build would pay, usually a small fraction of it).
+//
+// The graph passed to New is never mutated: the first Apply detaches the
+// session onto a private clone. Results returned by earlier Runs describe
+// the pre-delta graph; re-Run the session for selections on the current
+// one.
+func (pr *Protector) Apply(ctx context.Context, d dynamic.Delta) (*DeltaReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	select {
+	case pr.runSlot <- struct{}{}:
+		defer func() { <-pr.runSlot }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	start := time.Now()
+	d, err := d.Canonicalize()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Validate(pr.problem.G, pr.problem.Targets); err != nil {
+		return nil, err
+	}
+	if !pr.ownsGraph {
+		pr.problem = &Problem{G: pr.problem.G.Clone(), Pattern: pr.problem.Pattern, Targets: pr.problem.Targets}
+		pr.ownsGraph = true
+	}
+	d.ApplyToGraph(pr.problem.G)
+	if pr.phase1 != nil {
+		// The delta never touches target links, so the phase-1 graph stays
+		// exactly problem.G minus targets under the same mutations.
+		d.ApplyToGraph(pr.phase1)
+	}
+	rep := &DeltaReport{
+		Inserted: len(d.Insert),
+		Removed:  len(d.Remove),
+		Nodes:    pr.problem.G.NumNodes(),
+		Edges:    pr.problem.G.NumEdges(),
+	}
+	if pr.ix != nil {
+		st, err := pr.ix.ApplyDelta(pr.phase1, d.Insert, d.Remove)
+		if err != nil {
+			// Unreachable for a validated delta; if it ever happens the
+			// index no longer matches the graph, so drop it and let the
+			// next Run rebuild from scratch.
+			pr.ix = nil
+			return nil, err
+		}
+		rep.Incremental = true
+		rep.IndexStats = st
+	}
+	rep.Elapsed = time.Since(start)
+	pr.deltasApplied.Add(1)
+	pr.deltaTime.Add(int64(rep.Elapsed))
+	return rep, nil
+}
+
+// DeltasApplied reports how many deltas the session has committed.
+func (pr *Protector) DeltasApplied() int { return int(pr.deltasApplied.Load()) }
+
+// DeltaApplyTime reports the total wall-clock time the session has spent
+// applying deltas — the incremental-maintenance cost to compare against
+// IndexBuildTime, the full-enumeration cost it avoids.
+func (pr *Protector) DeltaApplyTime() time.Duration {
+	return time.Duration(pr.deltaTime.Load())
+}

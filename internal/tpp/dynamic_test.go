@@ -1,0 +1,149 @@
+package tpp
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/motif"
+)
+
+// TestSessionApplyParity drives an evolving session through a churn stream
+// and checks, after every delta, that its selections equal those of a
+// brand-new session on the mutated graph — the session-level face of the
+// index parity property.
+func TestSessionApplyParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := gen.BarabasiAlbertTriad(150, 3, 0.4, rng)
+	targets := datasets.SampleTargets(g, 6, rng)
+	ctx := context.Background()
+
+	session, err := New(g, targets, WithPattern(motif.Rectangle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := session.Run(ctx); err != nil { // warm the index
+		t.Fatal(err)
+	}
+	churn := gen.NewChurn(g, targets, 0.5, rng)
+
+	for step := 0; step < 6; step++ {
+		ins, rem := churn.Next(5)
+		rep, err := session.Apply(ctx, dynamic.Delta{Insert: ins, Remove: rem})
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if !rep.Incremental {
+			t.Fatalf("step %d: expected incremental apply on warm session", step)
+		}
+		got, err := session.Run(ctx)
+		if err != nil {
+			t.Fatalf("step %d: run: %v", step, err)
+		}
+		freshSession, err := New(churn.Graph(), targets, WithPattern(motif.Rectangle))
+		if err != nil {
+			t.Fatalf("step %d: fresh session: %v", step, err)
+		}
+		want, err := freshSession.Run(ctx)
+		if err != nil {
+			t.Fatalf("step %d: fresh run: %v", step, err)
+		}
+		if len(got.Protectors) != len(want.Protectors) {
+			t.Fatalf("step %d: %d protectors, fresh session selected %d", step, len(got.Protectors), len(want.Protectors))
+		}
+		for i := range want.Protectors {
+			if got.Protectors[i] != want.Protectors[i] {
+				t.Fatalf("step %d: protector %d = %v, fresh session selected %v", step, i, got.Protectors[i], want.Protectors[i])
+			}
+		}
+		for i := range want.SimilarityTrace {
+			if got.SimilarityTrace[i] != want.SimilarityTrace[i] {
+				t.Fatalf("step %d: trace[%d] = %d, want %d", step, i, got.SimilarityTrace[i], want.SimilarityTrace[i])
+			}
+		}
+	}
+	if session.IndexBuilds() != 1 {
+		t.Fatalf("index builds = %d, want 1 (deltas must not trigger rebuilds)", session.IndexBuilds())
+	}
+	if session.DeltasApplied() != 6 {
+		t.Fatalf("deltas applied = %d, want 6", session.DeltasApplied())
+	}
+}
+
+// TestSessionApplyDetachesGraph verifies the first Apply clones: the graph
+// handed to New stays untouched.
+func TestSessionApplyDetachesGraph(t *testing.T) {
+	g := gen.Cycle(8)
+	g.AddEdge(0, 2) // triangle completion for target (1,2)... target below
+	targets := []graph.Edge{{U: 0, V: 1}}
+	session, err := New(g, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.NumEdges()
+	rep, err := session.Apply(context.Background(), dynamic.Delta{Insert: []graph.Edge{{U: 3, V: 6}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != before {
+		t.Fatalf("caller graph mutated: %d edges, want %d", g.NumEdges(), before)
+	}
+	if g.HasEdge(3, 6) {
+		t.Fatal("caller graph gained the inserted edge")
+	}
+	if rep.Edges != before+1 {
+		t.Fatalf("report edges = %d, want %d", rep.Edges, before+1)
+	}
+	if rep.Incremental {
+		t.Fatal("no index built yet; apply must not claim incremental maintenance")
+	}
+	// Release after a run reflects the session's mutated graph.
+	res, err := session.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if released := session.Release(res); !released.HasEdge(3, 6) {
+		t.Fatal("released graph missing the inserted edge")
+	}
+}
+
+func TestSessionApplyRejectsInvalidDeltas(t *testing.T) {
+	g := gen.Complete(6)
+	targets := []graph.Edge{{U: 0, V: 1}}
+	session, err := New(g, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for name, d := range map[string]dynamic.Delta{
+		"remove target":   {Remove: []graph.Edge{{U: 0, V: 1}}},
+		"insert existing": {Insert: []graph.Edge{{U: 2, V: 3}}},
+		"self loop":       {Insert: []graph.Edge{{U: 4, V: 4}}},
+		"out of range":    {Insert: []graph.Edge{{U: 0, V: 99}}},
+	} {
+		if _, err := session.Apply(ctx, d); !errors.Is(err, dynamic.ErrInvalid) {
+			t.Errorf("%s: err = %v, want dynamic.ErrInvalid", name, err)
+		}
+	}
+	if session.DeltasApplied() != 0 {
+		t.Fatalf("deltas applied = %d, want 0 after rejections", session.DeltasApplied())
+	}
+}
+
+func TestSessionApplyHonoursContext(t *testing.T) {
+	g := gen.Complete(8)
+	session, err := New(g, []graph.Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := session.Apply(ctx, dynamic.Delta{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

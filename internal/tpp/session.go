@@ -42,10 +42,14 @@ type Protector struct {
 	problem *Problem
 	base    settings
 
-	runSlot        chan struct{} // capacity 1: serialises runs, ctx-aware
+	runSlot        chan struct{} // capacity 1: serialises runs and deltas, ctx-aware
 	ix             *motif.Index  // built on first indexed run, then reused
+	phase1         *graph.Graph  // cached phase-1 graph backing ix; mutated by Apply
+	ownsGraph      bool          // problem.G detached from the caller's graph (first Apply)
 	indexBuilds    atomic.Int64  // number of motif.NewIndex calls (observability)
 	indexBuildTime atomic.Int64  // total nanoseconds spent enumerating indexes
+	deltasApplied  atomic.Int64  // number of Apply calls that committed a delta
+	deltaTime      atomic.Int64  // total nanoseconds spent applying deltas
 }
 
 // settings is the resolved option set for a session or a single run.
@@ -225,7 +229,12 @@ func (pr *Protector) Run(ctx context.Context, opts ...Option) (*Result, error) {
 	if s.engine != EngineRecount || s.method == MethodRD || s.method == MethodRDT {
 		// Baselines always need the index for their similarity trace.
 		if pr.ix == nil {
-			ix, err := motif.NewIndexWorkers(pr.problem.Phase1(), pr.problem.Pattern, pr.problem.Targets, env.workers)
+			// The phase-1 graph is cached alongside the index so Apply can
+			// mutate both in step instead of recloning per delta.
+			if pr.phase1 == nil {
+				pr.phase1 = pr.problem.Phase1()
+			}
+			ix, err := motif.NewIndexWorkers(pr.phase1, pr.problem.Pattern, pr.problem.Targets, env.workers)
 			if err != nil {
 				return nil, err
 			}
