@@ -81,6 +81,50 @@ func BenchmarkDynamicApplyIncremental(b *testing.B) {
 	}
 }
 
+// BenchmarkDynamicApplyPureRemoval measures the removal-only regime: a
+// delta with no insertions never creates instances, so ApplyDelta can skip
+// target re-enumeration entirely and only kill removal-incident instances
+// (the pure-removal fast path). The churn stream is built with pInsert = 0
+// so every batch is removals.
+func BenchmarkDynamicApplyPureRemoval(b *testing.B) {
+	for _, c := range dynamicBenchCases() {
+		b.Run(fmt.Sprintf("%s/scale=%d/delta=%d", c.name, c.scale, c.deltaK), func(b *testing.B) {
+			ds := datasets.DBLPSim(c.scale, 12)
+			rng := rand.New(rand.NewSource(99))
+			targets := datasets.SampleTargets(ds.Graph, c.targets, rng)
+			phase1 := ds.Graph.Clone()
+			phase1.RemoveEdges(targets)
+			churn := gen.NewChurn(phase1, targets, 0, rng) // removals only
+			ix, err := motif.NewIndex(churn.Graph(), c.pattern, targets)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ins, rem := churn.Next(c.deltaK)
+				if len(ins) != 0 {
+					// The removal pool drained; restart the stream on a
+					// fresh clone so every timed apply stays removal-only.
+					churn = gen.NewChurn(phase1, targets, 0, rng)
+					if ix, err = motif.NewIndex(churn.Graph(), c.pattern, targets); err != nil {
+						b.Fatal(err)
+					}
+					ins, rem = churn.Next(c.deltaK)
+					if len(ins) != 0 {
+						b.Fatal("pure-removal stream produced insertions")
+					}
+				}
+				b.StartTimer()
+				if _, err := ix.ApplyDelta(churn.Graph(), ins, rem); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDynamicFullRebuild measures the delta-unaware baseline on the
 // same churn stream: re-derive the phase-1 working graph (clone) and
 // re-enumerate every target with motif.NewIndex.

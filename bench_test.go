@@ -567,6 +567,100 @@ func BenchmarkEdgeIDGreedyEndToEnd(b *testing.B) {
 	}
 }
 
+// --- Graph-core benchmarks (sorted-slice refactor) ---------------------------
+//
+// These pin the cost of the layers the sorted-slice graph core touches:
+// motif index construction (enumeration-dominated), link-prediction scoring
+// (common-neighbor-dominated), naive recount enumeration, and raw graph
+// mutation. BENCH_graphcore.json records their before/after numbers.
+
+// graphCoreFixture builds the DBLPSim(4000) phase-1 instance the graph-core
+// benchmarks run on.
+func graphCoreFixture(b *testing.B, scale, nTargets int) (*graph.Graph, []graph.Edge) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(13))
+	g := datasets.DBLPSim(scale, 13).Graph
+	targets := datasets.SampleTargets(g, nTargets, rng)
+	work := g.Clone()
+	work.RemoveEdges(targets)
+	return work, targets
+}
+
+// BenchmarkGraphCoreIndexBuild measures a full motif index build — the
+// dominant cost of a protection request — with a single enumeration worker,
+// so the number isolates the kernel cost rather than scheduling.
+func BenchmarkGraphCoreIndexBuild(b *testing.B) {
+	work, targets := graphCoreFixture(b, 4000, 64)
+	for _, pattern := range []motif.Pattern{motif.Triangle, motif.Rectangle} {
+		b.Run(pattern.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := motif.NewIndexWorkers(work, pattern, targets, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGraphCoreEnumerate measures the naive recount path (CountAll) the
+// plain greedy variants pay per candidate per step.
+func BenchmarkGraphCoreEnumerate(b *testing.B) {
+	work, targets := graphCoreFixture(b, 4000, 64)
+	for _, pattern := range []motif.Pattern{motif.Triangle, motif.Rectangle} {
+		b.Run(pattern.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if total, _ := motif.CountAll(work, pattern, targets); total < 0 {
+					b.Fatal("impossible")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGraphCoreLinkPred measures the adversary-side scoring scans:
+// per-pair index scores over the sampled targets and the full ranked
+// prediction sweep.
+func BenchmarkGraphCoreLinkPred(b *testing.B) {
+	work, targets := graphCoreFixture(b, 4000, 64)
+	for _, kind := range []linkpred.IndexKind{
+		linkpred.CommonNeighbors, linkpred.Jaccard, linkpred.AdamicAdar, linkpred.ResourceAllocation,
+	} {
+		b.Run("Score/"+kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, t := range targets {
+					linkpred.Score(work, kind, t.U, t.V)
+				}
+			}
+		})
+	}
+	b.Run("TopPredictions", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := linkpred.TopPredictions(work, linkpred.ResourceAllocation, 100); len(got) == 0 {
+				b.Fatal("no predictions")
+			}
+		}
+	})
+}
+
+// BenchmarkGraphCoreMutation measures raw edge churn on the mutable core:
+// remove and re-add existing edges (the dynamic subsystem's write path).
+func BenchmarkGraphCoreMutation(b *testing.B) {
+	work, _ := graphCoreFixture(b, 4000, 64)
+	edges := work.Edges()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		if !work.RemoveEdgeE(e) || !work.AddEdgeE(e) {
+			b.Fatal("edge churn failed")
+		}
+	}
+}
+
 func BenchmarkGraphPrimitives(b *testing.B) {
 	g := datasets.ArenasEmailSim(5).Graph
 	edges := g.Edges()

@@ -42,6 +42,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"runtime"
@@ -57,8 +58,20 @@ func main() {
 		reqTimeout    = flag.Duration("request-timeout", time.Minute, "per-request selection time cap")
 		maxScale      = flag.Int("max-dataset-scale", defaultMaxScale, "max node count for server-side dataset graphs")
 		sessionTTL    = flag.Duration("session-ttl", 30*time.Minute, "evict named sessions idle for longer (0 disables)")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this address for profiling live sessions (empty disables)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Profiling listens on its own address so /debug/pprof is never
+		// reachable through the service port.
+		go func() {
+			log.Printf("tppd: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("tppd: pprof: %v", err)
+			}
+		}()
+	}
 
 	service := NewServer(*maxConcurrent, *maxBody, *reqTimeout, *maxScale, *sessionTTL)
 	srv := &http.Server{

@@ -120,6 +120,56 @@ func TestApplyParityRandomStreams(t *testing.T) {
 	}
 }
 
+// TestApplyParityPureRemoval pins the removal-only fast path: a delta with
+// no insertions takes the enumeration-free kernel (applyRemovals), and the
+// result must still be indistinguishable from a fresh build on the
+// shrunken graph — including the compacted edge universe. Runs across all
+// patterns, with protector deletions burnt in between batches so the
+// discard-deletions contract is exercised on the fast path too.
+func TestApplyParityPureRemoval(t *testing.T) {
+	for _, pattern := range motif.AllPatterns {
+		pattern := pattern
+		t.Run(pattern.String(), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(17 * int64(pattern+1)))
+			g := gen.BarabasiAlbertTriad(120, 3, 0.4, rng)
+			targets := datasets.SampleTargets(g, 6, rng)
+			phase1 := g.Clone()
+			phase1.RemoveEdges(targets)
+			churn := gen.NewChurn(phase1, targets, 0, rng) // removals only
+
+			ix, err := motif.NewIndex(churn.Graph(), pattern, targets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step < 12; step++ {
+				// Burn protector deletions so the fast path must discard them.
+				for i := 0; i < step%3; i++ {
+					if e, _, ok := ix.ArgmaxGain(); ok {
+						ix.DeleteEdge(e)
+					}
+				}
+				ins, rem := churn.Next(1 + rng.Intn(5))
+				if len(ins) != 0 {
+					t.Fatalf("step %d: removal-only churn inserted %v", step, ins)
+				}
+				st, err := ix.ApplyDelta(churn.Graph(), ins, rem)
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				if st.TouchedTargets != 0 {
+					t.Fatalf("step %d: pure removal re-enumerated %d targets", step, st.TouchedTargets)
+				}
+				fresh, err := motif.NewIndex(churn.Graph(), pattern, targets)
+				if err != nil {
+					t.Fatalf("step %d: fresh: %v", step, err)
+				}
+				checkIndexParity(t, ix, fresh)
+			}
+		})
+	}
+}
+
 // TestApplyParityMidSelection pins down that ApplyDelta discards recorded
 // protector deletions, exactly like a fresh build: applying a delta to an
 // index that is mid-selection yields the fully-alive state of the mutated

@@ -127,8 +127,9 @@ func BarabasiAlbertTriad(n, m int, pt float64, rng *rand.Rand) *graph.Graph {
 			var w graph.NodeID = -1
 			if last >= 0 && rng.Float64() < pt {
 				// triad step: connect to a random neighbor of the last
-				// preferentially attached node.
-				nbrs := g.Neighbors(last)
+				// preferentially attached node. The borrowed view is read
+				// before the AddEdge below invalidates it.
+				nbrs := g.NeighborsView(last)
 				if len(nbrs) > 0 {
 					cand := nbrs[rng.Intn(len(nbrs))]
 					if cand != nu && !g.HasEdge(nu, cand) {

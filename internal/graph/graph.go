@@ -2,10 +2,12 @@
 // TPP (target privacy preserving) library.
 //
 // The representation is tuned for the access patterns of motif-based link
-// prediction and greedy protector selection: O(1) edge existence tests,
-// O(deg) neighbor iteration, cheap edge deletion/restoration, and fully
-// deterministic iteration orders so that greedy algorithms are reproducible
-// run to run.
+// prediction and greedy protector selection: adjacency is stored as sorted
+// neighbor slices — dense, cache-friendly, binary-search edge tests,
+// merge-join set intersections, and fully deterministic iteration orders so
+// that greedy algorithms are reproducible run to run. The graph stays fully
+// mutable (in-place sorted insert/delete with the slack amortized by slice
+// growth), which is what the dynamic subsystem's delta streams rely on.
 //
 // Nodes are dense integer IDs in [0, NumNodes). Edges are canonicalised so
 // that Edge.U < Edge.V always holds; the zero Edge is invalid (a self loop).
@@ -13,7 +15,7 @@ package graph
 
 import (
 	"fmt"
-	"maps"
+	"slices"
 	"sort"
 )
 
@@ -74,22 +76,37 @@ func SortEdges(es []Edge) {
 	sort.Slice(es, func(i, j int) bool { return es[i].Less(es[j]) })
 }
 
+// PackEdge encodes a canonical edge as a uint64 whose numeric order equals
+// Edge.Less order, so sorting packed keys is sorting edges. e must be
+// canonical (U < V). This is the one shared encoding behind the interner,
+// the motif index's universe sort and link-prediction candidate dedup.
+func PackEdge(e Edge) uint64 {
+	return uint64(uint32(e.U))<<32 | uint64(uint32(e.V))
+}
+
+// UnpackEdge inverts PackEdge.
+func UnpackEdge(p uint64) Edge {
+	return Edge{U: NodeID(p >> 32), V: NodeID(uint32(p))}
+}
+
 // Graph is a mutable undirected simple graph over dense node IDs.
+//
+// Adjacency is one sorted []NodeID slice per node. Edge insertion and
+// deletion shift within the slice (O(deg) worst case) but reuse its
+// capacity, so churny workloads settle into allocation-free mutation;
+// lookups are binary searches and set intersections are merge-joins over
+// the sorted rows.
 //
 // The zero value is an empty graph with no nodes; use New to pre-size.
 // Graph is not safe for concurrent mutation; concurrent reads are safe.
 type Graph struct {
-	adj   []map[NodeID]struct{}
+	adj   [][]NodeID // per node: neighbors sorted ascending
 	edges int
 }
 
 // New returns an empty graph with n nodes (IDs 0..n-1) and no edges.
 func New(n int) *Graph {
-	g := &Graph{adj: make([]map[NodeID]struct{}, n)}
-	for i := range g.adj {
-		g.adj[i] = make(map[NodeID]struct{})
-	}
-	return g
+	return &Graph{adj: make([][]NodeID, n)}
 }
 
 // NumNodes returns the number of nodes.
@@ -100,7 +117,7 @@ func (g *Graph) NumEdges() int { return g.edges }
 
 // AddNode appends a new isolated node and returns its ID.
 func (g *Graph) AddNode() NodeID {
-	g.adj = append(g.adj, make(map[NodeID]struct{}))
+	g.adj = append(g.adj, nil)
 	return NodeID(len(g.adj) - 1)
 }
 
@@ -113,15 +130,19 @@ func (g *Graph) valid(n NodeID) {
 
 // AddEdge inserts the undirected edge {u, v}. It reports whether the edge
 // was newly added (false if it already existed). Self loops panic.
+// Insertion keeps both neighbor rows sorted; any outstanding NeighborsView
+// of an endpoint is invalidated.
 func (g *Graph) AddEdge(u, v NodeID) bool {
 	e := NewEdge(u, v) // canonicalise + reject self loops
 	g.valid(e.U)
 	g.valid(e.V)
-	if _, ok := g.adj[e.U][e.V]; ok {
+	i, found := slices.BinarySearch(g.adj[e.U], e.V)
+	if found {
 		return false
 	}
-	g.adj[e.U][e.V] = struct{}{}
-	g.adj[e.V][e.U] = struct{}{}
+	g.adj[e.U] = slices.Insert(g.adj[e.U], i, e.V)
+	j, _ := slices.BinarySearch(g.adj[e.V], e.U)
+	g.adj[e.V] = slices.Insert(g.adj[e.V], j, e.U)
 	g.edges++
 	return true
 }
@@ -130,16 +151,19 @@ func (g *Graph) AddEdge(u, v NodeID) bool {
 func (g *Graph) AddEdgeE(e Edge) bool { return g.AddEdge(e.U, e.V) }
 
 // RemoveEdge deletes the undirected edge {u, v}, reporting whether it
-// existed.
+// existed. The rows keep their capacity as slack for future insertions; any
+// outstanding NeighborsView of an endpoint is invalidated.
 func (g *Graph) RemoveEdge(u, v NodeID) bool {
 	e := NewEdge(u, v)
 	g.valid(e.U)
 	g.valid(e.V)
-	if _, ok := g.adj[e.U][e.V]; !ok {
+	i, found := slices.BinarySearch(g.adj[e.U], e.V)
+	if !found {
 		return false
 	}
-	delete(g.adj[e.U], e.V)
-	delete(g.adj[e.V], e.U)
+	g.adj[e.U] = slices.Delete(g.adj[e.U], i, i+1)
+	j, _ := slices.BinarySearch(g.adj[e.V], e.U)
+	g.adj[e.V] = slices.Delete(g.adj[e.V], j, j+1)
 	g.edges--
 	return true
 }
@@ -160,12 +184,16 @@ func (g *Graph) RemoveEdges(es []Edge) int {
 }
 
 // HasEdge reports whether the edge {u, v} exists. HasEdge(n, n) is false.
+// The test is a binary search in the lower-degree endpoint's row.
 func (g *Graph) HasEdge(u, v NodeID) bool {
 	if u == v || u < 0 || v < 0 || int(u) >= len(g.adj) || int(v) >= len(g.adj) {
 		return false
 	}
-	_, ok := g.adj[u][v]
-	return ok
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	_, found := slices.BinarySearch(g.adj[u], v)
+	return found
 }
 
 // HasEdgeE is HasEdge taking an Edge value.
@@ -178,45 +206,122 @@ func (g *Graph) Degree(n NodeID) int {
 }
 
 // Neighbors returns the neighbors of n as a freshly allocated slice sorted
-// ascending. Prefer EachNeighbor in hot paths to avoid the allocation.
+// ascending. The copy stays valid across later mutations; prefer
+// NeighborsView in hot paths that do not mutate the graph while holding it.
 func (g *Graph) Neighbors(n NodeID) []NodeID {
 	g.valid(n)
-	out := make([]NodeID, 0, len(g.adj[n]))
-	for w := range g.adj[n] {
-		out = append(out, w)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]NodeID, len(g.adj[n]))
+	copy(out, g.adj[n])
 	return out
 }
 
-// EachNeighbor calls fn for every neighbor of n in unspecified order.
+// NeighborsView returns the neighbors of n sorted ascending as a view of
+// the graph's internal storage — no allocation, no copy.
+//
+// The view is invalidated by ANY subsequent mutation of the graph
+// (AddEdge/RemoveEdge/AddNode, or anything built on them such as
+// ApplyToGraph): a mutation may shift, grow or reallocate the row, so a
+// held view can observe missing, duplicated or stale neighbors. Callers
+// must not mutate the returned slice, and must re-fetch it after mutating
+// the graph; use Neighbors for a stable snapshot.
+func (g *Graph) NeighborsView(n NodeID) []NodeID {
+	g.valid(n)
+	return g.adj[n]
+}
+
+// EachNeighbor calls fn for every neighbor of n in ascending order.
 // Iteration stops early if fn returns false. The graph must not be mutated
 // during iteration.
 func (g *Graph) EachNeighbor(n NodeID, fn func(w NodeID) bool) {
 	g.valid(n)
-	for w := range g.adj[n] {
+	for _, w := range g.adj[n] {
 		if !fn(w) {
 			return
 		}
 	}
 }
 
-// CommonNeighbors returns Γ(u) ∩ Γ(v) sorted ascending.
-func (g *Graph) CommonNeighbors(u, v NodeID) []NodeID {
+// AppendCommonNeighbors appends Γ(u) ∩ Γ(v) to buf in ascending order and
+// returns the extended slice — the allocation-free form of CommonNeighbors
+// for callers with a reusable scratch buffer. The intersection is a
+// merge-join of the two sorted rows, switching to binary probes of the
+// longer row when the degrees are heavily skewed (hub nodes).
+func (g *Graph) AppendCommonNeighbors(u, v NodeID, buf []NodeID) []NodeID {
 	g.valid(u)
 	g.valid(v)
 	a, b := g.adj[u], g.adj[v]
 	if len(a) > len(b) {
 		a, b = b, a
 	}
-	var out []NodeID
-	for w := range a {
-		if _, ok := b[w]; ok {
-			out = append(out, w)
+	if len(a) == 0 {
+		return buf
+	}
+	if len(b) >= 16*len(a) {
+		for _, w := range a {
+			if _, found := slices.BinarySearch(b, w); found {
+				buf = append(buf, w)
+			}
+		}
+		return buf
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch x, y := a[i], b[j]; {
+		case x == y:
+			buf = append(buf, x)
+			i++
+			j++
+		case x < y:
+			i++
+		default:
+			j++
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return buf
+}
+
+// EachCommonNeighbor calls fn for every w ∈ Γ(u) ∩ Γ(v) in ascending
+// order without allocating, using the same skew-adaptive merge-join as
+// AppendCommonNeighbors — the form for callers that fold over the
+// intersection (e.g. Adamic–Adar/Resource-Allocation scoring) instead of
+// materialising it.
+func (g *Graph) EachCommonNeighbor(u, v NodeID, fn func(w NodeID)) {
+	g.valid(u)
+	g.valid(v)
+	a, b := g.adj[u], g.adj[v]
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return
+	}
+	if len(b) >= 16*len(a) {
+		for _, w := range a {
+			if _, found := slices.BinarySearch(b, w); found {
+				fn(w)
+			}
+		}
+		return
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch x, y := a[i], b[j]; {
+		case x == y:
+			fn(x)
+			i++
+			j++
+		case x < y:
+			i++
+		default:
+			j++
+		}
+	}
+}
+
+// CommonNeighbors returns Γ(u) ∩ Γ(v) sorted ascending in a fresh slice
+// (nil when the intersection is empty).
+func (g *Graph) CommonNeighbors(u, v NodeID) []NodeID {
+	return g.AppendCommonNeighbors(u, v, nil)
 }
 
 // CommonNeighborCount returns |Γ(u) ∩ Γ(v)| without allocating.
@@ -227,34 +332,54 @@ func (g *Graph) CommonNeighborCount(u, v NodeID) int {
 	if len(a) > len(b) {
 		a, b = b, a
 	}
+	if len(a) == 0 {
+		return 0
+	}
 	n := 0
-	for w := range a {
-		if _, ok := b[w]; ok {
+	if len(b) >= 16*len(a) {
+		for _, w := range a {
+			if _, found := slices.BinarySearch(b, w); found {
+				n++
+			}
+		}
+		return n
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch x, y := a[i], b[j]; {
+		case x == y:
 			n++
+			i++
+			j++
+		case x < y:
+			i++
+		default:
+			j++
 		}
 	}
 	return n
 }
 
-// Edges returns every edge in canonical lexicographic order.
+// Edges returns every edge in canonical lexicographic order. With sorted
+// rows this is a single sweep — no sort.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.edges)
 	for u := range g.adj {
-		for v := range g.adj[u] {
+		for _, v := range g.adj[u] {
 			if NodeID(u) < v {
 				out = append(out, Edge{NodeID(u), v})
 			}
 		}
 	}
-	SortEdges(out)
 	return out
 }
 
-// EachEdge calls fn for every edge in unspecified order; iteration stops
-// early if fn returns false.
+// EachEdge calls fn for every edge in canonical lexicographic order;
+// iteration stops early if fn returns false. The graph must not be mutated
+// during iteration.
 func (g *Graph) EachEdge(fn func(e Edge) bool) {
 	for u := range g.adj {
-		for v := range g.adj[u] {
+		for _, v := range g.adj[u] {
 			if NodeID(u) < v {
 				if !fn(Edge{NodeID(u), v}) {
 					return
@@ -264,14 +389,18 @@ func (g *Graph) EachEdge(fn func(e Edge) bool) {
 	}
 }
 
-// Clone returns a deep copy of g. Adjacency sets are copied with
-// maps.Clone, whose runtime fast path duplicates the table without
-// rehashing every key — cloning is on the request path (Problem.Phase1),
-// so this matters.
+// Clone returns a deep copy of g. Each neighbor row is copied with exact
+// capacity in one memmove — cloning is on the request path
+// (Problem.Phase1), so this matters.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{adj: make([]map[NodeID]struct{}, len(g.adj)), edges: g.edges}
-	for i, m := range g.adj {
-		c.adj[i] = maps.Clone(m)
+	c := &Graph{adj: make([][]NodeID, len(g.adj)), edges: g.edges}
+	for i, row := range g.adj {
+		if len(row) == 0 {
+			continue
+		}
+		cp := make([]NodeID, len(row))
+		copy(cp, row)
+		c.adj[i] = cp
 	}
 	return c
 }
@@ -279,8 +408,8 @@ func (g *Graph) Clone() *Graph {
 // Degrees returns the degree of every node, indexed by NodeID.
 func (g *Graph) Degrees() []int {
 	out := make([]int, len(g.adj))
-	for i, m := range g.adj {
-		out[i] = len(m)
+	for i, row := range g.adj {
+		out[i] = len(row)
 	}
 	return out
 }
@@ -288,9 +417,9 @@ func (g *Graph) Degrees() []int {
 // MaxDegree returns the largest degree in the graph (0 for empty graphs).
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for _, m := range g.adj {
-		if len(m) > max {
-			max = len(m)
+	for _, row := range g.adj {
+		if len(row) > max {
+			max = len(row)
 		}
 	}
 	return max

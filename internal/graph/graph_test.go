@@ -90,6 +90,82 @@ func TestNeighborsSorted(t *testing.T) {
 	}
 }
 
+func TestNeighborsIsStableCopy(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	snap := g.Neighbors(0)
+	g.AddEdge(0, 3)
+	g.RemoveEdge(0, 1)
+	if !reflect.DeepEqual(snap, []NodeID{1, 2}) {
+		t.Fatalf("Neighbors snapshot changed under mutation: %v", snap)
+	}
+	// Mutating the copy must not touch the graph.
+	snap[0] = 99
+	if got := g.Neighbors(0); !reflect.DeepEqual(got, []NodeID{2, 3}) {
+		t.Fatalf("graph adjacency corrupted through Neighbors copy: %v", got)
+	}
+}
+
+func TestNeighborsViewInvalidatedByMutation(t *testing.T) {
+	g := New(5)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 4)
+	view := g.NeighborsView(2)
+	if !reflect.DeepEqual(view, []NodeID{0, 4}) {
+		t.Fatalf("NeighborsView(2) = %v, want [0 4]", view)
+	}
+	// A mutation invalidates the view: the row may have shifted in place,
+	// so the old slice can now show stale contents. Re-fetching is the
+	// contract — the fresh view must reflect the mutation.
+	g.AddEdge(2, 1)
+	if got := g.NeighborsView(2); !reflect.DeepEqual(got, []NodeID{0, 1, 4}) {
+		t.Fatalf("re-fetched view = %v, want [0 1 4]", got)
+	}
+	g.RemoveEdge(2, 0)
+	if got := g.NeighborsView(2); !reflect.DeepEqual(got, []NodeID{1, 4}) {
+		t.Fatalf("re-fetched view after removal = %v, want [1 4]", got)
+	}
+}
+
+func TestAppendCommonNeighborsReusesBuffer(t *testing.T) {
+	g := New(6)
+	for _, e := range [][2]NodeID{{0, 2}, {0, 3}, {0, 4}, {1, 3}, {1, 4}, {1, 5}} {
+		g.AddEdge(e[0], e[1])
+	}
+	buf := make([]NodeID, 0, 8)
+	got := g.AppendCommonNeighbors(0, 1, buf)
+	if !reflect.DeepEqual(got, []NodeID{3, 4}) {
+		t.Fatalf("AppendCommonNeighbors = %v, want [3 4]", got)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("AppendCommonNeighbors did not reuse the caller's buffer")
+	}
+	// Appending after existing content keeps the prefix.
+	got2 := g.AppendCommonNeighbors(0, 1, got)
+	if !reflect.DeepEqual(got2, []NodeID{3, 4, 3, 4}) {
+		t.Fatalf("append onto prefix = %v", got2)
+	}
+}
+
+// TestSkewedIntersection covers the binary-probe branch of the merge-join:
+// one endpoint's degree is >16x the other's.
+func TestSkewedIntersection(t *testing.T) {
+	g := New(200)
+	for v := NodeID(2); v < 180; v++ {
+		g.AddEdge(0, v) // hub
+	}
+	g.AddEdge(1, 5)
+	g.AddEdge(1, 179)
+	g.AddEdge(1, 199) // not a hub neighbor
+	if got := g.CommonNeighbors(0, 1); !reflect.DeepEqual(got, []NodeID{5, 179}) {
+		t.Fatalf("skewed CommonNeighbors = %v, want [5 179]", got)
+	}
+	if got := g.CommonNeighborCount(1, 0); got != 2 {
+		t.Fatalf("skewed CommonNeighborCount = %d, want 2", got)
+	}
+}
+
 func TestCommonNeighbors(t *testing.T) {
 	g := New(6)
 	for _, e := range [][2]NodeID{{0, 2}, {0, 3}, {0, 4}, {1, 3}, {1, 4}, {1, 5}} {

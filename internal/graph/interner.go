@@ -3,7 +3,6 @@ package graph
 import (
 	"fmt"
 	"slices"
-	"sort"
 )
 
 // EdgeID is a dense integer id for an edge of a fixed graph snapshot,
@@ -17,92 +16,77 @@ type EdgeID int32
 // does not know about.
 const NoEdge EdgeID = -1
 
-// Interner is an immutable CSR-style edge table built once per graph
-// snapshot. It bidirectionally maps the snapshot's edges to dense EdgeIDs:
-// every per-edge quantity downstream (gains, deletion bits, instance
-// incidence lists) becomes a flat slice indexed by EdgeID instead of a
-// map[Edge], which is what makes the motif index cache-friendly.
+// Interner is an immutable edge table built once per graph snapshot. It
+// bidirectionally maps the snapshot's edges to dense EdgeIDs: every
+// per-edge quantity downstream (gains, deletion bits, instance incidence
+// lists) becomes a flat slice indexed by EdgeID instead of a map[Edge],
+// which is what makes the motif index cache-friendly.
+//
+// The whole table is one sorted array of packed uint64 keys (PackEdge
+// order equals Edge.Less order): ID is a single binary search, Edge(id) is
+// an unpack, and construction is one append sweep — no hashing, and no
+// per-node offset table, so building costs O(edges) regardless of how many
+// nodes the graph has (motif indexes intern a few hundred touched edges
+// out of thousands-node graphs on every build).
 //
 // The interner describes the graph at build time; it is not invalidated by
 // later edge deletions (deleting edges is the TPP hot path, and a deleted
 // edge keeps its id). Edges added after the build are unknown and map to
 // NoEdge.
 type Interner struct {
-	rowStart []int32  // per node u: first id of the canonical edges (u, v), v > u
-	nbr      []NodeID // higher endpoint per id, ascending within each row
-	edges    []Edge   // id -> edge
+	packed []uint64 // canonical edges packed with PackEdge, strictly ascending
 }
 
 // NewInterner builds the edge table for the current edges of g.
 // Ids are assigned in canonical lexicographic order: id(e1) < id(e2) iff
-// e1.Less(e2). The build is a counting sort on the lower endpoint (two
-// adjacency sweeps) followed by a per-row sort of the higher endpoints —
-// no comparison sort over the full edge list.
+// e1.Less(e2). Graph.EachEdge already yields edges in exactly that order
+// (the sorted-slice adjacency is swept in canonical order), so the build is
+// a single append sweep.
 func NewInterner(g *Graph) *Interner {
-	n := g.NumNodes()
-	m := g.NumEdges()
-	in := &Interner{
-		rowStart: make([]int32, n+1),
-		nbr:      make([]NodeID, m),
-		edges:    make([]Edge, m),
-	}
+	in := &Interner{packed: make([]uint64, 0, g.NumEdges())}
 	g.EachEdge(func(e Edge) bool {
-		in.rowStart[e.U+1]++
+		in.packed = append(in.packed, PackEdge(e))
 		return true
 	})
-	for u := 0; u < n; u++ {
-		in.rowStart[u+1] += in.rowStart[u]
-	}
-	cursor := make([]int32, n)
-	copy(cursor, in.rowStart[:n])
-	g.EachEdge(func(e Edge) bool {
-		in.nbr[cursor[e.U]] = e.V
-		cursor[e.U]++
-		return true
-	})
-	for u := 0; u < n; u++ {
-		row := in.nbr[in.rowStart[u]:in.rowStart[u+1]]
-		slices.Sort(row)
-		base := int(in.rowStart[u])
-		for i, v := range row {
-			in.edges[base+i] = Edge{NodeID(u), v}
-		}
-	}
 	return in
 }
 
 // NewInternerFromEdges builds an edge table whose universe is exactly the
 // given edges — not necessarily all edges of a graph. edges must be
-// canonical, sorted ascending (Edge.Less) and free of duplicates; the
-// slice is retained. numNodes bounds the node ids that may appear. This is
+// canonical, sorted ascending (Edge.Less) and free of duplicates. This is
 // the constructor for callers that discover their edge universe while
 // sweeping something cheaper than the whole graph (e.g. the motif index
-// interning only the edges of enumerated instances).
-func NewInternerFromEdges(numNodes int, edges []Edge) *Interner {
-	in := &Interner{
-		rowStart: make([]int32, numNodes+1),
-		nbr:      make([]NodeID, len(edges)),
-		edges:    edges,
-	}
+// compacting a previous universe).
+func NewInternerFromEdges(edges []Edge) *Interner {
+	in := &Interner{packed: make([]uint64, len(edges))}
 	for i, e := range edges {
 		if i > 0 && !edges[i-1].Less(e) {
 			panic(fmt.Sprintf("graph: edge list not sorted/unique at %d: %v !< %v", i, edges[i-1], e))
 		}
-		in.nbr[i] = e.V
-		in.rowStart[e.U+1]++
-	}
-	for u := 0; u < numNodes; u++ {
-		in.rowStart[u+1] += in.rowStart[u]
+		in.packed[i] = PackEdge(e)
 	}
 	return in
 }
 
+// NewInternerFromPacked builds an edge table directly over packed edge keys
+// (PackEdge order), which must be strictly ascending; the slice is
+// retained. Callers that already hold a sorted, deduplicated packed
+// universe (the motif index builder) intern it with zero copying.
+func NewInternerFromPacked(packed []uint64) *Interner {
+	for i := 1; i < len(packed); i++ {
+		if packed[i-1] >= packed[i] {
+			panic(fmt.Sprintf("graph: packed edge list not sorted/unique at %d", i))
+		}
+	}
+	return &Interner{packed: packed}
+}
+
 // NumEdges returns the number of interned edges.
-func (in *Interner) NumEdges() int { return len(in.edges) }
+func (in *Interner) NumEdges() int { return len(in.packed) }
 
 // ID returns the dense id of e, or NoEdge when e was not an edge of the
-// snapshot. Non-canonical e is canonicalised first. The lookup is a binary
-// search within e.U's neighbor row — O(log deg), no hashing.
+// snapshot. Non-canonical e is canonicalised first. The lookup is one
+// binary search over the packed keys — O(log edges), no hashing.
 func (in *Interner) ID(e Edge) EdgeID {
 	if !e.Canonical() {
 		if e.U == e.V {
@@ -110,25 +94,20 @@ func (in *Interner) ID(e Edge) EdgeID {
 		}
 		e = Edge{e.V, e.U}
 	}
-	if int(e.U) >= len(in.rowStart)-1 || e.U < 0 {
+	i, found := slices.BinarySearch(in.packed, PackEdge(e))
+	if !found {
 		return NoEdge
 	}
-	lo, hi := in.rowStart[e.U], in.rowStart[e.U+1]
-	row := in.nbr[lo:hi]
-	i := sort.Search(len(row), func(i int) bool { return row[i] >= e.V })
-	if i < len(row) && row[i] == e.V {
-		return EdgeID(lo) + EdgeID(i)
-	}
-	return NoEdge
+	return EdgeID(i)
 }
 
 // Edge returns the edge with the given id. It panics on ids outside
 // [0, NumEdges).
 func (in *Interner) Edge(id EdgeID) Edge {
-	if id < 0 || int(id) >= len(in.edges) {
-		panic(fmt.Sprintf("graph: edge id %d out of range [0,%d)", id, len(in.edges)))
+	if id < 0 || int(id) >= len(in.packed) {
+		panic(fmt.Sprintf("graph: edge id %d out of range [0,%d)", id, len(in.packed)))
 	}
-	return in.edges[id]
+	return UnpackEdge(in.packed[id])
 }
 
 // Edges converts a slice of ids to edges in one pass.

@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// modelGraph is the map-based reference the sorted-slice core is checked
+// against: the straightforward adjacency-set implementation the library
+// used before the graph-core refactor. It is deliberately naive — every
+// operation is spelled out over map sets — so a disagreement always
+// indicts the optimized core.
+type modelGraph struct {
+	adj   []map[NodeID]struct{}
+	edges int
+}
+
+func newModel(n int) *modelGraph {
+	m := &modelGraph{adj: make([]map[NodeID]struct{}, n)}
+	for i := range m.adj {
+		m.adj[i] = make(map[NodeID]struct{})
+	}
+	return m
+}
+
+func (m *modelGraph) addNode() NodeID {
+	m.adj = append(m.adj, make(map[NodeID]struct{}))
+	return NodeID(len(m.adj) - 1)
+}
+
+func (m *modelGraph) addEdge(u, v NodeID) bool {
+	if _, ok := m.adj[u][v]; ok {
+		return false
+	}
+	m.adj[u][v] = struct{}{}
+	m.adj[v][u] = struct{}{}
+	m.edges++
+	return true
+}
+
+func (m *modelGraph) removeEdge(u, v NodeID) bool {
+	if _, ok := m.adj[u][v]; !ok {
+		return false
+	}
+	delete(m.adj[u], v)
+	delete(m.adj[v], u)
+	m.edges--
+	return true
+}
+
+func (m *modelGraph) hasEdge(u, v NodeID) bool {
+	_, ok := m.adj[u][v]
+	return ok
+}
+
+func (m *modelGraph) neighbors(n NodeID) []NodeID {
+	out := make([]NodeID, 0, len(m.adj[n]))
+	for w := range m.adj[n] {
+		out = append(out, w)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: the model stays naive
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// checkAgainstModel asserts full observational equality of graph and model.
+func checkAgainstModel(t *testing.T, g *Graph, m *modelGraph) {
+	t.Helper()
+	if g.NumNodes() != len(m.adj) {
+		t.Fatalf("NumNodes = %d, model has %d", g.NumNodes(), len(m.adj))
+	}
+	if g.NumEdges() != m.edges {
+		t.Fatalf("NumEdges = %d, model has %d", g.NumEdges(), m.edges)
+	}
+	for n := NodeID(0); int(n) < len(m.adj); n++ {
+		if g.Degree(n) != len(m.adj[n]) {
+			t.Fatalf("Degree(%d) = %d, model has %d", n, g.Degree(n), len(m.adj[n]))
+		}
+		want := m.neighbors(n)
+		if got := g.Neighbors(n); !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+			t.Fatalf("Neighbors(%d) = %v, model has %v", n, got, want)
+		}
+		if got := g.NeighborsView(n); !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+			t.Fatalf("NeighborsView(%d) = %v, model has %v", n, got, want)
+		}
+		for w := NodeID(0); int(w) < len(m.adj); w++ {
+			if g.HasEdge(n, w) != m.hasEdge(n, w) {
+				t.Fatalf("HasEdge(%d,%d) = %v, model disagrees", n, w, g.HasEdge(n, w))
+			}
+		}
+	}
+}
+
+// applyModelOp decodes one mutation from a byte pair and applies it to both
+// the graph and the model, asserting the mutation reports agree. Returns
+// whether a structural check is due (AddNode boundaries double as
+// checkpoints).
+func applyModelOp(t *testing.T, g *Graph, m *modelGraph, a, b byte) bool {
+	t.Helper()
+	n := NodeID(g.NumNodes())
+	switch {
+	case a%8 == 7 && n < 64: // grow, bounded so pair coverage stays dense
+		if got, want := g.AddNode(), m.addNode(); got != want {
+			t.Fatalf("AddNode = %d, model got %d", got, want)
+		}
+		return true
+	default:
+		u, v := NodeID(a)%n, NodeID(b)%n
+		if u == v {
+			return false
+		}
+		if b%3 == 0 {
+			if got, want := g.RemoveEdge(u, v), m.removeEdge(u, v); got != want {
+				t.Fatalf("RemoveEdge(%d,%d) = %v, model got %v", u, v, got, want)
+			}
+		} else {
+			if got, want := g.AddEdge(u, v), m.addEdge(u, v); got != want {
+				t.Fatalf("AddEdge(%d,%d) = %v, model got %v", u, v, got, want)
+			}
+		}
+		return false
+	}
+}
+
+// FuzzGraphModel drives the sorted-slice core against the map-based
+// reference under arbitrary AddEdge/RemoveEdge/AddNode sequences: degrees,
+// HasEdge answers, sorted neighbor sets and edge counts must agree at
+// every checkpoint and at the end of the sequence.
+func FuzzGraphModel(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x07, 0x00, 0x05, 0x06})
+	f.Add([]byte{0xff, 0xfe, 0x00, 0x03, 0x30, 0x21, 0x12, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := New(8)
+		m := newModel(8)
+		for i := 0; i+1 < len(data); i += 2 {
+			if applyModelOp(t, g, m, data[i], data[i+1]) {
+				checkAgainstModel(t, g, m)
+			}
+		}
+		checkAgainstModel(t, g, m)
+	})
+}
+
+// TestGraphMatchesModelRandomOps is the seeded always-on form of the fuzz
+// property, so plain `go test` exercises long random op sequences too.
+func TestGraphMatchesModelRandomOps(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(12)
+		m := newModel(12)
+		for op := 0; op < 600; op++ {
+			a, b := byte(rng.Intn(256)), byte(rng.Intn(256))
+			applyModelOp(t, g, m, a, b)
+			if op%97 == 0 {
+				checkAgainstModel(t, g, m)
+			}
+		}
+		checkAgainstModel(t, g, m)
+	}
+}

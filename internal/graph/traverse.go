@@ -19,7 +19,7 @@ func (g *Graph) BFSDistances(src NodeID) []int32 {
 		u := queue[0]
 		queue = queue[1:]
 		du := dist[u]
-		for w := range g.adj[u] {
+		for _, w := range g.adj[u] {
 			if dist[w] < 0 {
 				dist[w] = du + 1
 				queue = append(queue, w)
@@ -43,7 +43,7 @@ func (g *Graph) BFSDistancesInto(src NodeID, dist []int32, queue []NodeID) []Nod
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
 		du := dist[u]
-		for w := range g.adj[u] {
+		for _, w := range g.adj[u] {
 			if dist[w] < 0 {
 				dist[w] = du + 1
 				queue = append(queue, w)
@@ -73,7 +73,7 @@ func (g *Graph) ConnectedComponents() (comp []int32, count int) {
 		queue = append(queue, NodeID(s))
 		for head := 0; head < len(queue); head++ {
 			u := queue[head]
-			for w := range g.adj[u] {
+			for _, w := range g.adj[u] {
 				if comp[w] < 0 {
 					comp[w] = id
 					queue = append(queue, w)
@@ -138,7 +138,7 @@ func (g *Graph) Subgraph(nodes []NodeID) (*Graph, []NodeID) {
 	}
 	sub := New(len(orig))
 	for newU, oldU := range orig {
-		for oldV := range g.adj[oldU] {
+		for _, oldV := range g.adj[oldU] {
 			if newV, ok := remap[oldV]; ok && NodeID(newU) < newV {
 				sub.AddEdge(NodeID(newU), newV)
 			}

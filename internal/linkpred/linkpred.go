@@ -76,17 +76,38 @@ func (k IndexKind) String() string {
 // Score computes the similarity score of node pair (u, v) under the index.
 // Higher scores mean the adversary considers the link more likely. For Katz
 // it uses the default attenuation and path cutoff of KatzScore.
+//
+// Every triangle-based index is evaluated as one merge-join walk over the
+// two sorted neighbor rows — common neighbors are never materialised, so
+// scoring allocates nothing (Katz excepted: it carries walk-count vectors).
 func Score(g *graph.Graph, kind IndexKind, u, v graph.NodeID) float64 {
 	switch kind {
 	case Katz:
 		return KatzScore(g, u, v, DefaultKatzBeta, DefaultKatzMaxLen)
 	case CommonNeighbors:
 		return float64(g.CommonNeighborCount(u, v))
+	case AdamicAdar:
+		// Σ_{w ∈ Γ(u)∩Γ(v)} 1/log deg(w), accumulated during the join.
+		s := 0.0
+		g.EachCommonNeighbor(u, v, func(w graph.NodeID) {
+			if d := float64(g.Degree(w)); d > 1 {
+				s += 1 / math.Log(d)
+			}
+		})
+		return s
+	case ResourceAllocation:
+		// Σ_{w ∈ Γ(u)∩Γ(v)} 1/deg(w), accumulated during the join.
+		s := 0.0
+		g.EachCommonNeighbor(u, v, func(w graph.NodeID) {
+			if d := float64(g.Degree(w)); d > 0 {
+				s += 1 / d
+			}
+		})
+		return s
 	}
 
-	cn := g.CommonNeighbors(u, v)
 	du, dv := float64(g.Degree(u)), float64(g.Degree(v))
-	ncn := float64(len(cn))
+	ncn := float64(g.CommonNeighborCount(u, v))
 	switch kind {
 	case Jaccard:
 		union := du + dv - ncn
@@ -121,23 +142,6 @@ func Score(g *graph.Graph, kind IndexKind, u, v graph.NodeID) float64 {
 			return 0
 		}
 		return ncn / (du * dv)
-	case AdamicAdar:
-		s := 0.0
-		for _, w := range cn {
-			d := float64(g.Degree(w))
-			if d > 1 {
-				s += 1 / math.Log(d)
-			}
-		}
-		return s
-	case ResourceAllocation:
-		s := 0.0
-		for _, w := range cn {
-			if d := float64(g.Degree(w)); d > 0 {
-				s += 1 / d
-			}
-		}
-		return s
 	}
 	panic(fmt.Sprintf("linkpred: unknown index %v", kind))
 }
@@ -170,10 +174,9 @@ func KatzScore(g *graph.Graph, u, v graph.NodeID, beta float64, maxLen int) floa
 				continue
 			}
 			c := cur[i]
-			g.EachNeighbor(graph.NodeID(i), func(w graph.NodeID) bool {
+			for _, w := range g.NeighborsView(graph.NodeID(i)) {
 				next[w] += c
-				return true
-			})
+			}
 		}
 		cur, next = next, cur
 		if l >= 2 {

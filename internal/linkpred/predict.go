@@ -1,6 +1,7 @@
 package linkpred
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/graph"
@@ -21,26 +22,31 @@ type Prediction struct {
 // CandidatePairs returns every non-adjacent node pair with at least one
 // common neighbour, in canonical order. This is the complete support of
 // all triangle-based indices.
+//
+// Candidates are collected as packed uint64 keys and deduplicated with one
+// sort + compact instead of a hash set: the packed order equals canonical
+// edge order, so the sweep needs no separate SortEdges pass and no hashing.
 func CandidatePairs(g *graph.Graph) []graph.Edge {
-	seen := make(map[graph.Edge]bool)
+	var packed []uint64
 	n := g.NumNodes()
 	for w := 0; w < n; w++ {
-		nbrs := g.Neighbors(graph.NodeID(w))
+		nbrs := g.NeighborsView(graph.NodeID(w))
 		for i := 0; i < len(nbrs); i++ {
 			for j := i + 1; j < len(nbrs); j++ {
-				u, v := nbrs[i], nbrs[j]
+				u, v := nbrs[i], nbrs[j] // u < v: rows are sorted ascending
 				if g.HasEdge(u, v) {
 					continue
 				}
-				seen[graph.NewEdge(u, v)] = true
+				packed = append(packed, graph.PackEdge(graph.Edge{U: u, V: v}))
 			}
 		}
 	}
-	out := make([]graph.Edge, 0, len(seen))
-	for e := range seen {
-		out = append(out, e)
+	slices.Sort(packed)
+	packed = slices.Compact(packed)
+	out := make([]graph.Edge, len(packed))
+	for i, p := range packed {
+		out[i] = graph.UnpackEdge(p)
 	}
-	graph.SortEdges(out)
 	return out
 }
 

@@ -73,7 +73,7 @@ func ApproxAveragePathLength(g *graph.Graph, samples int, rng *rand.Rand) float6
 
 // TriangleCount returns the number of triangles incident to node v.
 func TriangleCount(g *graph.Graph, v graph.NodeID) int {
-	nbrs := g.Neighbors(v)
+	nbrs := g.NeighborsView(v) // read-only scan: the borrowed row is safe
 	count := 0
 	for i := 0; i < len(nbrs); i++ {
 		for j := i + 1; j < len(nbrs); j++ {

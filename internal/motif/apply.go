@@ -30,12 +30,12 @@ type ApplyStats struct {
 
 // ApplyDelta incrementally rewires the index for a batch of edge mutations.
 // The subgraph enumeration — the dominant cost of a fresh build — shrinks
-// to the delta's reach: only insert-touched targets re-enumerate. The flat
-// arrays (interner, CSR table, gains, heap) are then rewired wholesale in
-// O(universe + instances), the same cheap cost class as Reset; a
-// rebuild-free pure-removal fast path is a ROADMAP follow-up. g must be
-// the phase-1 graph with the delta already applied (removed edges gone,
-// inserted edges present, targets still absent).
+// to the delta's reach: only insert-touched targets re-enumerate, and a
+// delta with no insertions enumerates nothing at all (see applyRemovals).
+// The flat arrays (interner, CSR table, gains, heap) are then rewired
+// wholesale in O(universe + instances), the same cheap cost class as
+// Reset. g must be the phase-1 graph with the delta already applied
+// (removed edges gone, inserted edges present, targets still absent).
 //
 // Removals can only destroy instances; the CSR edge→instance table names
 // exactly the instances each removed edge participated in, so they are
@@ -69,6 +69,21 @@ func (ix *Index) ApplyDelta(g *graph.Graph, inserted, removed []graph.Edge) (App
 		if g.HasEdgeE(e) {
 			return ApplyStats{}, fmt.Errorf("motif: removed edge %v still present in mutated graph; apply the delta to the graph before the index", e)
 		}
+	}
+
+	// Pure-removal fast path: with no insertions no target can gain an
+	// instance, so enumeration is skipped entirely — removal-incident
+	// instances are killed through the CSR table and the flat state is
+	// compacted in place, linear in the universe and instance table with no
+	// sorting and no edge interning.
+	if len(inserted) == 0 {
+		killed := ix.applyRemovals(removed)
+		return ApplyStats{
+			Removed:         len(removed),
+			KilledInstances: killed,
+			Instances:       len(ix.inst),
+			Elapsed:         time.Since(start),
+		}, nil
 	}
 
 	// Adjacency in the union graph (old ∪ new edge sets): g already reflects
@@ -154,7 +169,7 @@ func (ix *Index) ApplyDelta(g *graph.Graph, inserted, removed []graph.Edge) (App
 		enumerateInto(g, ix.pattern, ix.targets, touchedIdx, runtime.GOMAXPROCS(0), byTarget)
 	}
 
-	ix.build(g.NumNodes(), byTarget)
+	ix.build(byTarget)
 	return ApplyStats{
 		Inserted:        len(inserted),
 		Removed:         len(removed),
@@ -163,6 +178,114 @@ func (ix *Index) ApplyDelta(g *graph.Graph, inserted, removed []graph.Edge) (App
 		Instances:       len(ix.inst),
 		Elapsed:         time.Since(start),
 	}, nil
+}
+
+// CanCreateInstances reports whether inserting the edge e — already present
+// in g — could have created any instance of pattern for target t. It is the
+// same conservative-but-sound structural test ApplyDelta uses to restrict
+// re-enumeration (see insertTouches): a false answer proves t's instance
+// set cannot contain e, so callers maintaining an invariant over a stream
+// of insertions (tpp.Guard) can skip targets — usually all of them —
+// without enumerating anything.
+func CanCreateInstances(g *graph.Graph, pattern Pattern, t, e graph.Edge) bool {
+	return insertTouches(pattern, t, e, func(x, y graph.NodeID) bool { return g.HasEdge(x, y) })
+}
+
+// applyRemovals is the removal-only maintenance kernel behind ApplyDelta's
+// fast path. It kills every instance containing a removed edge (named
+// exactly by the CSR rows of the removed ids), then rewrites the index to
+// the state a fresh build on the shrunken graph would produce: edges left
+// with no incidence drop out of the interned universe, surviving instances
+// keep their relative order, recorded protector deletions are discarded
+// (an applied index starts fully alive), and the flat state is rewired.
+//
+// Because the old universe already ascends in canonical edge order, the
+// surviving universe is a monotone filter of it: the rebuild is linear
+// passes over the instance table and universe — no packed-edge sort, no
+// per-instance ID() lookups, and crucially no target re-enumeration. It
+// returns the number of instances killed.
+func (ix *Index) applyRemovals(removed []graph.Edge) int {
+	kill := make([]bool, len(ix.inst))
+	nKilled := 0
+	for _, e := range removed {
+		id := ix.in.ID(e)
+		if id == graph.NoEdge {
+			continue // outside the universe: participated in no instance
+		}
+		for _, instID := range ix.instIDs[ix.instStart[id]:ix.instStart[id+1]] {
+			if !kill[instID] {
+				kill[instID] = true
+				nKilled++
+			}
+		}
+	}
+	if nKilled == 0 {
+		// Nothing interned was removed; the rebuilt state is exactly the
+		// build-time state with protector deletions discarded.
+		ix.Reset()
+		return 0
+	}
+
+	// Surviving per-edge incidence counts over the fully-alive state.
+	oldNE := ix.in.NumEdges()
+	oldGain := make([]int32, oldNE)
+	for i := range ix.inst {
+		if kill[i] {
+			continue
+		}
+		in := &ix.inst[i]
+		for _, id := range in.edges[:in.ne] {
+			oldGain[id]++
+		}
+	}
+
+	// Compact the universe, preserving canonical order.
+	remap := make([]graph.EdgeID, oldNE)
+	packed := make([]uint64, 0, oldNE)
+	for id := 0; id < oldNE; id++ {
+		if oldGain[id] > 0 {
+			remap[id] = graph.EdgeID(len(packed))
+			packed = append(packed, graph.PackEdge(ix.in.Edge(graph.EdgeID(id))))
+		} else {
+			remap[id] = graph.NoEdge
+		}
+	}
+	ne := len(packed)
+	gain := make([]int32, ne)
+	for id, nw := range remap {
+		if nw != graph.NoEdge {
+			gain[nw] = oldGain[id]
+		}
+	}
+	ix.in = graph.NewInternerFromPacked(packed)
+	ix.gain = gain
+
+	// Compact the instance table in place, resolving edges to the new ids
+	// and reviving any protector-dead survivors.
+	out := ix.inst[:0]
+	for i := range ix.inst {
+		if kill[i] {
+			continue
+		}
+		in := ix.inst[i]
+		in.dead = false
+		for j := range in.edges[:in.ne] {
+			in.edges[j] = remap[in.edges[j]]
+		}
+		out = append(out, in)
+	}
+	ix.inst = out
+
+	for ti := range ix.perTarget {
+		ix.perTarget[ti] = 0
+	}
+	for i := range ix.inst {
+		ix.perTarget[ix.inst[i].target]++
+	}
+	ix.alive = len(ix.inst)
+
+	ix.wireFlat()
+	return nKilled
 }
 
 // insertTouches reports whether inserting the edge e could create an

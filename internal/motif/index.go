@@ -31,8 +31,8 @@ import (
 // and gains live in a slice mirrored by the heap. The hot paths (GainID,
 // DeleteEdgeID, ArgmaxGainID, AppendCandidateIDs) therefore perform no
 // hashing, no sorting and no allocation. The Edge-keyed methods remain as
-// thin wrappers that resolve the id first (a binary search in the
-// interner's CSR row, not a map lookup).
+// thin wrappers that resolve the id first (a binary search over the
+// interner's packed keys, not a map lookup).
 type Index struct {
 	pattern Pattern
 	targets []graph.Edge
@@ -98,16 +98,6 @@ type rawInstance struct {
 	ne    uint8
 }
 
-// packEdge encodes a canonical edge as a uint64 whose numeric order equals
-// Edge.Less, so sorting packed edges is sorting edges.
-func packEdge(e graph.Edge) uint64 {
-	return uint64(uint32(e.U))<<32 | uint64(uint32(e.V))
-}
-
-func unpackEdge(p uint64) graph.Edge {
-	return graph.Edge{U: graph.NodeID(p >> 32), V: graph.NodeID(uint32(p))}
-}
-
 // NewIndexWorkers is NewIndex with an explicit enumeration worker count
 // (<= 0 selects GOMAXPROCS). Targets are sharded across the workers with
 // per-worker instance buffers merged in target order, so the resulting
@@ -142,7 +132,7 @@ func NewIndexWorkers(g *graph.Graph, pattern Pattern, targets []graph.Edge, work
 	}
 	enumerateInto(g, pattern, targets, all, workers, byTarget)
 
-	ix.build(g.NumNodes(), byTarget)
+	ix.build(byTarget)
 	ix.stats = BuildStats{Workers: workers, Instances: len(ix.inst), Elapsed: time.Since(start)}
 	return ix, nil
 }
@@ -154,9 +144,12 @@ func NewIndexWorkers(g *graph.Graph, pattern Pattern, targets []graph.Edge, work
 // downstream merge is deterministic. Both the full build and the
 // incremental apply (touched targets only) enumerate through here.
 func enumerateInto(g *graph.Graph, pattern Pattern, targets []graph.Edge, indices []int, workers int, byTarget [][]rawInstance) {
-	enumerate := func(ti int) {
+	// Each worker owns one Scratch for its whole shard: the merge-join
+	// buffers warm up once and every subsequent target enumerates without
+	// per-visit allocations.
+	enumerate := func(ti int, sc *Scratch) {
 		var buf []rawInstance
-		EnumerateTarget(g, pattern, targets[ti], func(edges []graph.Edge) {
+		EnumerateTargetScratch(g, pattern, targets[ti], sc, func(edges []graph.Edge) {
 			var r rawInstance
 			r.ne = uint8(len(edges))
 			copy(r.edges[:], edges)
@@ -168,8 +161,9 @@ func enumerateInto(g *graph.Graph, pattern Pattern, targets []graph.Edge, indice
 		workers = len(indices)
 	}
 	if workers <= 1 {
+		var sc Scratch
 		for _, ti := range indices {
-			enumerate(ti)
+			enumerate(ti, &sc)
 		}
 		return
 	}
@@ -179,31 +173,32 @@ func enumerateInto(g *graph.Graph, pattern Pattern, targets []graph.Edge, indice
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var sc Scratch
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(indices) {
 					return
 				}
-				enumerate(indices[i])
+				enumerate(indices[i], &sc)
 			}
 		}()
 	}
 	wg.Wait()
 }
 
-// build wires the index's entire flat state — interned edge universe, merged
-// instance table, CSR incidences, gains, deletion bitset and gain heap —
-// from per-target raw instance buffers. It is shared by NewIndexWorkers
+// build wires the index's entire flat state — interned edge universe,
+// merged instance table, CSR incidences, gains, deletion bitset and gain
+// heap — from per-target raw instance buffers. It is shared by NewIndexWorkers
 // (buffers fresh from a full enumeration) and ApplyDelta (buffers stitched
 // from surviving and re-enumerated instances): identical buffers produce
 // identical state, which is what the incremental path's bit-for-bit parity
 // guarantee rests on. Any previously recorded protector deletions are
 // discarded — a rebuilt state always starts fully alive, exactly like a
 // fresh build on the same graph.
-func (ix *Index) build(numNodes int, byTarget [][]rawInstance) {
+func (ix *Index) build(byTarget [][]rawInstance) {
 	// Intern the touched edge universe: exactly the edges appearing in some
 	// instance (the paper's W-edge set). Sorting the packed incidences once
-	// replaces any full-graph sweep — the graph's adjacency maps are never
+	// replaces any full-graph sweep — the graph's adjacency is never
 	// iterated wholesale, which is what keeps index construction cheap on
 	// large sparse graphs.
 	total := 0
@@ -218,17 +213,13 @@ func (ix *Index) build(numNodes int, byTarget [][]rawInstance) {
 	for _, buf := range byTarget {
 		for _, r := range buf {
 			for _, e := range r.edges[:r.ne] {
-				packed = append(packed, packEdge(e))
+				packed = append(packed, graph.PackEdge(e))
 			}
 		}
 	}
 	slices.Sort(packed)
 	packed = slices.Compact(packed)
-	universe := make([]graph.Edge, len(packed))
-	for i, p := range packed {
-		universe[i] = unpackEdge(p)
-	}
-	in := graph.NewInternerFromEdges(numNodes, universe)
+	in := graph.NewInternerFromPacked(packed)
 	ix.in = in
 
 	// Deterministic merge: instances land in target order regardless of
@@ -252,7 +243,17 @@ func (ix *Index) build(numNodes int, byTarget [][]rawInstance) {
 		ix.alive += len(buf)
 	}
 
-	// Build the CSR incidence table: initial gains double as row lengths.
+	ix.wireFlat()
+}
+
+// wireFlat (re)builds the per-edge flat state — deletion bitset, CSR
+// edge→instance incidence table, gain heap — from ix.in, ix.inst and
+// ix.gain, which must already hold the interned universe, the resolved
+// instance table and the per-edge alive counts (the build-time gains double
+// as CSR row lengths). Shared by the full builder and the pure-removal
+// fast path of ApplyDelta.
+func (ix *Index) wireFlat() {
+	ne := ix.in.NumEdges()
 	ix.deleted = make([]uint64, (ne+63)/64)
 	ix.nDeleted = 0
 	ix.instStart = make([]int32, ne+1)
@@ -555,9 +556,12 @@ func (ix *Index) heapBetter(a, b graph.EdgeID) bool {
 
 // heapInit (re)builds the heap over the whole interned universe in O(E).
 func (ix *Index) heapInit() {
-	ix.heap = ix.heap[:0]
+	if cap(ix.heap) < len(ix.gain) {
+		ix.heap = make([]graph.EdgeID, len(ix.gain))
+	}
+	ix.heap = ix.heap[:len(ix.gain)]
 	for id := range ix.gain {
-		ix.heap = append(ix.heap, graph.EdgeID(id))
+		ix.heap[id] = graph.EdgeID(id)
 		ix.heapPos[id] = int32(id)
 	}
 	for i := len(ix.heap)/2 - 1; i >= 0; i-- {

@@ -96,129 +96,200 @@ type Instance struct {
 	Edges  []graph.Edge
 }
 
+// Scratch holds the reusable buffers one enumeration worker needs: the
+// merge-join intersection buffers and the instance-edge emission buffer.
+// A zero Scratch is ready to use; after a few calls the buffers reach the
+// high-water mark of the workload and enumeration stops allocating
+// entirely. A Scratch must not be shared between goroutines.
+type Scratch struct {
+	cn    []graph.NodeID // outer intersection (e.g. Γ(u) ∩ Γ(v))
+	cn2   []graph.NodeID // inner intersection (per outer element)
+	edges [4]graph.Edge  // emission buffer passed to visit
+}
+
 // EnumerateTarget lists every instance of pattern completing target
 // t = (u, v) in g. g must be the phase-1 graph: all target links already
 // removed, so instances never contain a target link and W_t sets are
 // disjoint across targets by construction.
 //
 // The visit callback receives the edges of each instance; the slice is
-// reused between calls and must not be retained.
+// reused between calls and must not be retained. Instances are visited in
+// a deterministic order (ascending by the intermediate nodes).
+//
+// This convenience form allocates a fresh Scratch per call; hot loops use
+// EnumerateTargetScratch with a per-worker Scratch instead.
 func EnumerateTarget(g *graph.Graph, pattern Pattern, t graph.Edge, visit func(edges []graph.Edge)) {
+	var sc Scratch
+	EnumerateTargetScratch(g, pattern, t, &sc, visit)
+}
+
+// EnumerateTargetScratch is EnumerateTarget with caller-owned scratch
+// buffers: in the steady state (warm scratch) enumeration performs no
+// per-visit or per-pair allocations.
+func EnumerateTargetScratch(g *graph.Graph, pattern Pattern, t graph.Edge, sc *Scratch, visit func(edges []graph.Edge)) {
+	enumerate(g, pattern, t, sc, visit)
+}
+
+// enumerate is the single kernel behind both enumeration and counting: it
+// walks every instance of pattern completing t via merge-joins over the
+// graph's sorted neighbor rows, calls visit (when non-nil) per instance,
+// and returns the instance count. Keeping one kernel guarantees Count and
+// EnumerateTarget can never disagree.
+func enumerate(g *graph.Graph, pattern Pattern, t graph.Edge, sc *Scratch, visit func(edges []graph.Edge)) int {
 	u, v := t.U, t.V
+	n := 0
 	switch pattern {
 	case Triangle:
-		buf := make([]graph.Edge, 2)
-		for _, w := range g.CommonNeighbors(u, v) {
-			buf[0] = graph.NewEdge(u, w)
-			buf[1] = graph.NewEdge(w, v)
-			visit(buf)
+		sc.cn = g.AppendCommonNeighbors(u, v, sc.cn[:0])
+		for _, w := range sc.cn {
+			n++
+			if visit != nil {
+				sc.edges[0] = graph.NewEdge(u, w)
+				sc.edges[1] = graph.NewEdge(w, v)
+				visit(sc.edges[:2])
+			}
 		}
 
 	case Rectangle:
-		buf := make([]graph.Edge, 3)
-		for _, a := range g.Neighbors(u) {
+		// u–a–b–v: a ∈ Γ(u)\{v}, b ∈ Γ(a) ∩ Γ(v) \ {u} (b ≠ a, b ≠ v hold
+		// automatically in a simple graph).
+		for _, a := range g.NeighborsView(u) {
 			if a == v {
 				continue
 			}
-			g.EachNeighbor(a, func(b graph.NodeID) bool {
-				if b == u || b == v || b == a {
-					return true
+			sc.cn2 = g.AppendCommonNeighbors(a, v, sc.cn2[:0])
+			for _, b := range sc.cn2 {
+				if b == u {
+					continue
 				}
-				if g.HasEdge(b, v) {
-					buf[0] = graph.NewEdge(u, a)
-					buf[1] = graph.NewEdge(a, b)
-					buf[2] = graph.NewEdge(b, v)
-					visit(buf)
+				n++
+				if visit != nil {
+					sc.edges[0] = graph.NewEdge(u, a)
+					sc.edges[1] = graph.NewEdge(a, b)
+					sc.edges[2] = graph.NewEdge(b, v)
+					visit(sc.edges[:3])
 				}
-				return true
-			})
+			}
 		}
 
 	case RecTri:
-		buf := make([]graph.Edge, 4)
-		for _, w := range g.CommonNeighbors(u, v) {
+		sc.cn = g.AppendCommonNeighbors(u, v, sc.cn[:0])
+		for _, w := range sc.cn {
 			// orientation 1: triangle on the u side — 3-path u–x–w–v.
-			for _, x := range g.CommonNeighbors(u, w) {
+			sc.cn2 = g.AppendCommonNeighbors(u, w, sc.cn2[:0])
+			for _, x := range sc.cn2 {
 				if x == v {
 					continue
 				}
-				buf[0] = graph.NewEdge(u, w)
-				buf[1] = graph.NewEdge(w, v)
-				buf[2] = graph.NewEdge(u, x)
-				buf[3] = graph.NewEdge(x, w)
-				visit(buf)
+				n++
+				if visit != nil {
+					sc.edges[0] = graph.NewEdge(u, w)
+					sc.edges[1] = graph.NewEdge(w, v)
+					sc.edges[2] = graph.NewEdge(u, x)
+					sc.edges[3] = graph.NewEdge(x, w)
+					visit(sc.edges[:4])
+				}
 			}
 			// orientation 2: triangle on the v side — 3-path u–w–x–v.
-			for _, x := range g.CommonNeighbors(w, v) {
+			sc.cn2 = g.AppendCommonNeighbors(w, v, sc.cn2[:0])
+			for _, x := range sc.cn2 {
 				if x == u {
 					continue
 				}
-				buf[0] = graph.NewEdge(u, w)
-				buf[1] = graph.NewEdge(w, v)
-				buf[2] = graph.NewEdge(w, x)
-				buf[3] = graph.NewEdge(x, v)
-				visit(buf)
+				n++
+				if visit != nil {
+					sc.edges[0] = graph.NewEdge(u, w)
+					sc.edges[1] = graph.NewEdge(w, v)
+					sc.edges[2] = graph.NewEdge(w, x)
+					sc.edges[3] = graph.NewEdge(x, v)
+					visit(sc.edges[:4])
+				}
 			}
 		}
 
 	case Pentagon:
-		buf := make([]graph.Edge, 4)
-		for _, a := range g.Neighbors(u) {
+		// u–a–b–c–v: c ∈ Γ(b) ∩ Γ(v) \ {u, a} (c ≠ b, c ≠ v automatic).
+		for _, a := range g.NeighborsView(u) {
 			if a == v {
 				continue
 			}
-			g.EachNeighbor(a, func(b graph.NodeID) bool {
+			for _, b := range g.NeighborsView(a) {
 				if b == u || b == v {
-					return true
+					continue
 				}
-				g.EachNeighbor(b, func(c graph.NodeID) bool {
-					if c == u || c == v || c == a {
-						return true
+				sc.cn2 = g.AppendCommonNeighbors(b, v, sc.cn2[:0])
+				for _, c := range sc.cn2 {
+					if c == u || c == a {
+						continue
 					}
-					if g.HasEdge(c, v) {
-						buf[0] = graph.NewEdge(u, a)
-						buf[1] = graph.NewEdge(a, b)
-						buf[2] = graph.NewEdge(b, c)
-						buf[3] = graph.NewEdge(c, v)
-						visit(buf)
+					n++
+					if visit != nil {
+						sc.edges[0] = graph.NewEdge(u, a)
+						sc.edges[1] = graph.NewEdge(a, b)
+						sc.edges[2] = graph.NewEdge(b, c)
+						sc.edges[3] = graph.NewEdge(c, v)
+						visit(sc.edges[:4])
 					}
-					return true
-				})
-				return true
-			})
+				}
+			}
 		}
 
 	default:
 		panic("motif: invalid pattern")
 	}
+	return n
 }
 
 // Count returns s(·, t): the number of instances of pattern completing
 // target t in the current graph. This is the naive recount path; its cost
 // for the motifs here is O(d_u · d_v)-ish, exactly the complexity the paper
-// analyses.
+// analyses. It allocates a fresh Scratch; hot loops use CountScratch.
 func Count(g *graph.Graph, pattern Pattern, t graph.Edge) int {
-	n := 0
-	EnumerateTarget(g, pattern, t, func([]graph.Edge) { n++ })
-	return n
+	var sc Scratch
+	return enumerate(g, pattern, t, &sc, nil)
+}
+
+// CountScratch is Count with caller-owned scratch buffers — allocation-free
+// once the scratch is warm. This is what the recount greedy loops pay per
+// candidate per step.
+func CountScratch(g *graph.Graph, pattern Pattern, t graph.Edge, sc *Scratch) int {
+	return enumerate(g, pattern, t, sc, nil)
 }
 
 // CountAll returns Σ_t s(·, t) over all targets plus the per-target counts.
 func CountAll(g *graph.Graph, pattern Pattern, targets []graph.Edge) (total int, perTarget []int) {
 	perTarget = make([]int, len(targets))
+	var sc Scratch
+	return CountAllScratch(g, pattern, targets, &sc, perTarget), perTarget
+}
+
+// CountAllScratch writes the per-target counts into perTarget (len must be
+// len(targets)) and returns the total, reusing the caller's scratch —
+// the allocation-free form of CountAll.
+func CountAllScratch(g *graph.Graph, pattern Pattern, targets []graph.Edge, sc *Scratch, perTarget []int) (total int) {
 	for i, t := range targets {
-		c := Count(g, pattern, t)
+		c := enumerate(g, pattern, t, sc, nil)
 		perTarget[i] = c
 		total += c
 	}
-	return total, perTarget
+	return total
+}
+
+// CountTotalScratch returns Σ_t s(·, t) without materialising per-target
+// counts — the cheapest recount form, used by the SGB gain scans.
+func CountTotalScratch(g *graph.Graph, pattern Pattern, targets []graph.Edge, sc *Scratch) (total int) {
+	for _, t := range targets {
+		total += enumerate(g, pattern, t, sc, nil)
+	}
+	return total
 }
 
 // Instances materialises every instance for every target (phase-1 graph).
 func Instances(g *graph.Graph, pattern Pattern, targets []graph.Edge) []Instance {
 	var out []Instance
+	var sc Scratch
 	for i, t := range targets {
-		EnumerateTarget(g, pattern, t, func(edges []graph.Edge) {
+		EnumerateTargetScratch(g, pattern, t, &sc, func(edges []graph.Edge) {
 			cp := make([]graph.Edge, len(edges))
 			copy(cp, edges)
 			out = append(out, Instance{Target: int32(i), Edges: cp})

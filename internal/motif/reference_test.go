@@ -1,0 +1,208 @@
+package motif
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// This file pins the merge-join enumeration kernels to a map-reference
+// implementation: refAdj is the hash-set adjacency the library used before
+// the sorted-slice graph core, and refEnumerate spells each motif out as
+// nested set loops with no shared code with the production kernel. Every
+// pattern's instance multiset must agree between the two on random graphs.
+
+type refAdj []map[graph.NodeID]struct{}
+
+func refFrom(g *graph.Graph) refAdj {
+	adj := make(refAdj, g.NumNodes())
+	for i := range adj {
+		adj[i] = make(map[graph.NodeID]struct{})
+	}
+	g.EachEdge(func(e graph.Edge) bool {
+		adj[e.U][e.V] = struct{}{}
+		adj[e.V][e.U] = struct{}{}
+		return true
+	})
+	return adj
+}
+
+func (a refAdj) has(u, v graph.NodeID) bool {
+	_, ok := a[u][v]
+	return ok
+}
+
+// refEnumerate lists every instance of pattern completing (u, v) straight
+// from the set definitions in the paper's Fig. 1.
+func refEnumerate(a refAdj, pattern Pattern, t graph.Edge) [][]graph.Edge {
+	u, v := t.U, t.V
+	var out [][]graph.Edge
+	emit := func(es ...graph.Edge) { out = append(out, es) }
+	switch pattern {
+	case Triangle:
+		for w := range a[u] {
+			if w != v && a.has(w, v) {
+				emit(graph.NewEdge(u, w), graph.NewEdge(w, v))
+			}
+		}
+	case Rectangle:
+		for x := range a[u] {
+			if x == v {
+				continue
+			}
+			for y := range a[x] {
+				if y == u || y == v || !a.has(y, v) {
+					continue
+				}
+				emit(graph.NewEdge(u, x), graph.NewEdge(x, y), graph.NewEdge(y, v))
+			}
+		}
+	case RecTri:
+		for w := range a[u] {
+			if w == v || !a.has(w, v) {
+				continue
+			}
+			for x := range a[u] {
+				if x != v && x != w && a.has(x, w) {
+					emit(graph.NewEdge(u, w), graph.NewEdge(w, v), graph.NewEdge(u, x), graph.NewEdge(x, w))
+				}
+			}
+			for x := range a[v] {
+				if x != u && x != w && a.has(x, w) {
+					emit(graph.NewEdge(u, w), graph.NewEdge(w, v), graph.NewEdge(w, x), graph.NewEdge(x, v))
+				}
+			}
+		}
+	case Pentagon:
+		for x := range a[u] {
+			if x == v {
+				continue
+			}
+			for y := range a[x] {
+				if y == u || y == v {
+					continue
+				}
+				for z := range a[y] {
+					if z == u || z == v || z == x || !a.has(z, v) {
+						continue
+					}
+					emit(graph.NewEdge(u, x), graph.NewEdge(x, y), graph.NewEdge(y, z), graph.NewEdge(z, v))
+				}
+			}
+		}
+	default:
+		panic("unknown pattern")
+	}
+	return out
+}
+
+// canonInstances renders an instance list as a sorted multiset of
+// edge-list strings, so order-insensitive comparison is a DeepEqual.
+func canonInstances(insts [][]graph.Edge) []string {
+	out := make([]string, len(insts))
+	for i, es := range insts {
+		cp := append([]graph.Edge(nil), es...)
+		graph.SortEdges(cp)
+		out[i] = fmt.Sprint(cp)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestEnumerationSteadyStateZeroAlloc is the regression guard for the
+// scratch-reuse refactor: once a worker's Scratch is warm, counting and
+// enumerating motif instances must not allocate at all — the recount greedy
+// loops pay these kernels per candidate per step.
+func TestEnumerationSteadyStateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 64
+	g := graph.New(n)
+	for g.NumEdges() < 5*n {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	targets := []graph.Edge{graph.NewEdge(0, 1), graph.NewEdge(2, 3), graph.NewEdge(4, 5)}
+	for _, tgt := range targets {
+		g.RemoveEdgeE(tgt)
+	}
+	sink := 0
+	visit := func(edges []graph.Edge) { sink += len(edges) }
+	for _, pattern := range AllPatterns {
+		var sc Scratch
+		// Warm the scratch to its high-water mark.
+		CountTotalScratch(g, pattern, targets, &sc)
+		if allocs := testing.AllocsPerRun(20, func() {
+			sink += CountTotalScratch(g, pattern, targets, &sc)
+		}); allocs != 0 {
+			t.Errorf("%v: CountTotalScratch allocates %v objects/run in steady state", pattern, allocs)
+		}
+		if allocs := testing.AllocsPerRun(20, func() {
+			for _, tgt := range targets {
+				EnumerateTargetScratch(g, pattern, tgt, &sc, visit)
+			}
+		}); allocs != 0 {
+			t.Errorf("%v: EnumerateTargetScratch allocates %v objects/run in steady state", pattern, allocs)
+		}
+	}
+	_ = sink
+}
+
+func TestEnumerateMatchesMapReference(t *testing.T) {
+	for _, pattern := range AllPatterns {
+		pattern := pattern
+		t.Run(pattern.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 6; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				n := 28
+				g := graph.New(n)
+				for g.NumEdges() < 3*n {
+					u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+					if u != v {
+						g.AddEdge(u, v)
+					}
+				}
+				ref := refFrom(g)
+				var sc Scratch
+				for trial := 0; trial < 12; trial++ {
+					u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+					if u == v {
+						continue
+					}
+					tgt := graph.NewEdge(u, v)
+					// The production kernels require the phase-1 invariant
+					// (target link absent); drop it from both sides.
+					removed := g.RemoveEdgeE(tgt)
+					if removed {
+						delete(ref[tgt.U], tgt.V)
+						delete(ref[tgt.V], tgt.U)
+					}
+					var got [][]graph.Edge
+					EnumerateTargetScratch(g, pattern, tgt, &sc, func(edges []graph.Edge) {
+						got = append(got, append([]graph.Edge(nil), edges...))
+					})
+					want := refEnumerate(ref, pattern, tgt)
+					gi, wi := canonInstances(got), canonInstances(want)
+					if !reflect.DeepEqual(gi, wi) {
+						t.Fatalf("seed %d target %v: kernel found %d instances, reference %d:\n got %v\nwant %v",
+							seed, tgt, len(gi), len(wi), gi, wi)
+					}
+					if c := CountScratch(g, pattern, tgt, &sc); c != len(want) {
+						t.Fatalf("seed %d target %v: Count = %d, reference %d", seed, tgt, c, len(want))
+					}
+					if removed {
+						g.AddEdgeE(tgt)
+						ref[tgt.U][tgt.V] = struct{}{}
+						ref[tgt.V][tgt.U] = struct{}{}
+					}
+				}
+			}
+		})
+	}
+}

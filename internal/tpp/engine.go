@@ -142,7 +142,9 @@ type recountEvaluator struct {
 	scope   Scope
 	per     []int
 	total   int
-	seen    []bool // scratch for restricted candidate collection, by id
+	seen    []bool        // scratch for restricted candidate collection, by id
+	sc      motif.Scratch // enumeration scratch reused across every recount
+	perBuf  []int         // per-target recount scratch for gainVector/delete
 }
 
 func newRecountEvaluator(p *Problem, scope Scope) *recountEvaluator {
@@ -158,6 +160,7 @@ func newRecountEvaluator(p *Problem, scope Scope) *recountEvaluator {
 		per:     per,
 		total:   total,
 		seen:    make([]bool, in.NumEdges()),
+		perBuf:  make([]int, len(p.Targets)),
 	}
 }
 
@@ -173,7 +176,7 @@ func (r *recountEvaluator) gain(p graph.EdgeID) int {
 		return 0
 	}
 	r.g.RemoveEdgeE(e)
-	after, _ := motif.CountAll(r.g, r.pattern, r.targets)
+	after := motif.CountTotalScratch(r.g, r.pattern, r.targets, &r.sc)
 	r.g.AddEdgeE(e)
 	return r.total - after
 }
@@ -184,14 +187,14 @@ func (r *recountEvaluator) gainVector(p graph.EdgeID, buf []int) ([]int, int) {
 		return nil, 0
 	}
 	r.g.RemoveEdgeE(e)
-	afterTotal, afterPer := motif.CountAll(r.g, r.pattern, r.targets)
+	afterTotal := motif.CountAllScratch(r.g, r.pattern, r.targets, &r.sc, r.perBuf)
 	r.g.AddEdgeE(e)
 	total := r.total - afterTotal
 	if total == 0 {
 		return nil, 0
 	}
 	for i := range buf {
-		buf[i] = r.per[i] - afterPer[i]
+		buf[i] = r.per[i] - r.perBuf[i]
 	}
 	return buf, total
 }
@@ -210,7 +213,7 @@ func (r *recountEvaluator) candidates(buf []graph.EdgeID) []graph.EdgeID {
 	// Lemma 5: only edges of currently existing target subgraphs can break
 	// target subgraphs. Re-enumerate on the current graph, dedup by id.
 	for _, t := range r.targets {
-		motif.EnumerateTarget(r.g, r.pattern, t, func(edges []graph.Edge) {
+		motif.EnumerateTargetScratch(r.g, r.pattern, t, &r.sc, func(edges []graph.Edge) {
 			for _, e := range edges {
 				r.seen[r.in.ID(e)] = true
 			}
@@ -229,10 +232,10 @@ func (r *recountEvaluator) delete(p graph.EdgeID) int {
 	if !r.g.RemoveEdgeE(r.in.Edge(p)) {
 		return 0
 	}
-	after, afterPer := motif.CountAll(r.g, r.pattern, r.targets)
+	after := motif.CountAllScratch(r.g, r.pattern, r.targets, &r.sc, r.perBuf)
 	gain := r.total - after
 	r.total = after
-	r.per = afterPer
+	copy(r.per, r.perBuf)
 	return gain
 }
 

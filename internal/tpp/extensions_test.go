@@ -297,10 +297,10 @@ func TestPropertyKatzMonotoneUnderDeletion(t *testing.T) {
 			work.RemoveEdgeE(tg)
 		}
 		opt := DefaultKatzOptions()
-		before := katzTotal(work, targets, opt)
+		before := katzTotal(work, targets, opt, newKatzScratch(work.NumNodes()))
 		edges := work.Edges()
 		work.RemoveEdgeE(edges[rng.Intn(len(edges))])
-		after := katzTotal(work, targets, opt)
+		after := katzTotal(work, targets, opt, newKatzScratch(work.NumNodes()))
 		return after <= before+1e-15
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
@@ -325,14 +325,14 @@ func TestPropertyKatzCandidateRestrictionExact(t *testing.T) {
 		for _, e := range cands {
 			inCand[e] = true
 		}
-		before := katzTotal(work, targets, opt)
+		before := katzTotal(work, targets, opt, newKatzScratch(work.NumNodes()))
 		ok := true
 		work.EachEdge(func(e graph.Edge) bool {
 			if inCand[e] {
 				return true
 			}
 			work.RemoveEdgeE(e)
-			after := katzTotal(work, targets, opt)
+			after := katzTotal(work, targets, opt, newKatzScratch(work.NumNodes()))
 			work.AddEdgeE(e)
 			if math.Abs(after-before) > 1e-15 {
 				ok = false

@@ -101,6 +101,22 @@ func (gd *Guard) AddEdgeCtx(ctx context.Context, u, v graph.NodeID) (admitted bo
 		return true, nil, nil // already present: nothing to do
 	}
 
+	// Fast path: the maintained graph was fully protected, so similarity
+	// can only have become positive through an instance containing the new
+	// edge — and motif.CanCreateInstances soundly rules that out per target
+	// with a constant number of adjacency probes. Most insertions touch no
+	// target and admit without any enumeration.
+	touched := false
+	for _, t := range gd.targets {
+		if motif.CanCreateInstances(gd.g, gd.pattern, t, e) {
+			touched = true
+			break
+		}
+	}
+	if !touched {
+		return true, nil, nil
+	}
+
 	// Re-protect if the insertion completed target subgraphs. The index
 	// rebuild enumerates from the current graph, so it captures exactly
 	// the instances the new edge enabled.

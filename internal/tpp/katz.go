@@ -3,7 +3,6 @@ package tpp
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"repro/internal/graph"
@@ -64,7 +63,11 @@ func KatzGreedy(p *Problem, k int, opt KatzOptions) (*KatzResult, error) {
 	g := p.Phase1()
 	start := time.Now()
 
-	res := &KatzResult{ScoreTrace: []float64{katzTotal(g, p.Targets, opt)}}
+	// One walk-vector scratch serves every Katz evaluation of the run: the
+	// greedy scan below scores |candidates| · |targets| truncated walks per
+	// step, so per-score allocation would dominate.
+	sc := newKatzScratch(g.NumNodes())
+	res := &KatzResult{ScoreTrace: []float64{katzTotal(g, p.Targets, opt, sc)}}
 	for len(res.Protectors) < k {
 		cands := katzCandidates(g, p.Targets, opt.MaxLen)
 		var best graph.Edge
@@ -75,7 +78,7 @@ func KatzGreedy(p *Problem, k int, opt KatzOptions) (*KatzResult, error) {
 		}
 		for _, cand := range cands {
 			g.RemoveEdgeE(cand)
-			s := katzTotal(g, p.Targets, opt)
+			s := katzTotal(g, p.Targets, opt, sc)
 			g.AddEdgeE(cand)
 			if s < bestScore {
 				best, bestScore = cand, s
@@ -92,44 +95,53 @@ func KatzGreedy(p *Problem, k int, opt KatzOptions) (*KatzResult, error) {
 	return res, nil
 }
 
+// katzScratch holds the two walk-count vectors one truncated-Katz
+// evaluation needs, reused across evaluations.
+type katzScratch struct {
+	cur, next []float64
+}
+
+func newKatzScratch(n int) *katzScratch {
+	return &katzScratch{cur: make([]float64, n), next: make([]float64, n)}
+}
+
 // katzTotal sums the truncated Katz scores of all targets on g.
-func katzTotal(g *graph.Graph, targets []graph.Edge, opt KatzOptions) float64 {
+func katzTotal(g *graph.Graph, targets []graph.Edge, opt KatzOptions, sc *katzScratch) float64 {
 	total := 0.0
 	for _, t := range targets {
-		total += katzScore(g, t.U, t.V, opt)
+		total += katzScore(g, t.U, t.V, opt, sc)
 	}
 	return total
 }
 
 // katzScore mirrors linkpred.KatzScore (duplicated to avoid a dependency
-// from the core algorithm package on the adversary package).
-func katzScore(g *graph.Graph, u, v graph.NodeID, opt KatzOptions) float64 {
+// from the core algorithm package on the adversary package), evaluated on
+// caller-owned walk vectors.
+func katzScore(g *graph.Graph, u, v graph.NodeID, opt KatzOptions, sc *katzScratch) float64 {
 	n := g.NumNodes()
-	cur := make([]float64, n)
-	next := make([]float64, n)
+	cur, next := sc.cur, sc.next
+	clear(cur)
 	cur[u] = 1
 	score := 0.0
 	bl := 1.0
 	for l := 1; l <= opt.MaxLen; l++ {
 		bl *= opt.Beta
-		for i := range next {
-			next[i] = 0
-		}
+		clear(next)
 		for i := 0; i < n; i++ {
 			if cur[i] == 0 {
 				continue
 			}
 			c := cur[i]
-			g.EachNeighbor(graph.NodeID(i), func(w graph.NodeID) bool {
+			for _, w := range g.NeighborsView(graph.NodeID(i)) {
 				next[w] += c
-				return true
-			})
+			}
 		}
 		cur, next = next, cur
 		if l >= 2 {
 			score += bl * cur[v]
 		}
 	}
+	sc.cur, sc.next = cur, next
 	return score
 }
 
@@ -139,7 +151,7 @@ func katzScore(g *graph.Graph, u, v graph.NodeID, opt KatzOptions) float64 {
 // any target's truncated Katz score.
 func katzCandidates(g *graph.Graph, targets []graph.Edge, maxLen int) []graph.Edge {
 	radius := (maxLen + 1) / 2
-	near := make(map[graph.NodeID]bool)
+	near := make([]bool, g.NumNodes())
 	var frontier []graph.NodeID
 	for _, t := range targets {
 		frontier = append(frontier, t.U, t.V)
@@ -150,16 +162,16 @@ func katzCandidates(g *graph.Graph, targets []graph.Edge, maxLen int) []graph.Ed
 	for hop := 0; hop < radius; hop++ {
 		var nextFrontier []graph.NodeID
 		for _, u := range frontier {
-			g.EachNeighbor(u, func(w graph.NodeID) bool {
+			for _, w := range g.NeighborsView(u) {
 				if !near[w] {
 					near[w] = true
 					nextFrontier = append(nextFrontier, w)
 				}
-				return true
-			})
+			}
 		}
 		frontier = nextFrontier
 	}
+	// EachEdge sweeps in canonical order, so out needs no sort.
 	var out []graph.Edge
 	g.EachEdge(func(e graph.Edge) bool {
 		if near[e.U] && near[e.V] {
@@ -167,6 +179,5 @@ func katzCandidates(g *graph.Graph, targets []graph.Edge, maxLen int) []graph.Ed
 		}
 		return true
 	})
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }

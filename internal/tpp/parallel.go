@@ -85,6 +85,7 @@ func sgbGreedyParallel(p *Problem, k int, scope Scope, workers int, env runEnv) 
 				g := graphs[w]
 				base := master.totalSimilarity()
 				var pick bestPick
+				var sc motif.Scratch // per-worker enumeration scratch
 				for i, cand := range cands[lo:hi] {
 					// Honour cancellation mid-scan: each recount is
 					// expensive, so a deadline must not wait out the whole
@@ -98,7 +99,7 @@ func sgbGreedyParallel(p *Problem, k int, scope Scope, workers int, env runEnv) 
 						continue
 					}
 					g.RemoveEdgeE(e)
-					after, _ := motif.CountAll(g, p.Pattern, p.Targets)
+					after := motif.CountTotalScratch(g, p.Pattern, p.Targets, &sc)
 					g.AddEdgeE(e)
 					gain := base - after
 					if gain > pick.gain {

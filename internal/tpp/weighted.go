@@ -61,8 +61,12 @@ func WeightedSGBGreedy(p *Problem, k int, weights []float64) (*WeightedResult, e
 		}
 		return s
 	}
-	gainOf := func(e graph.Edge) float64 {
-		per, _ := ix.GainVector(e)
+	// One gain-vector buffer serves every evaluation: the CELF loop below
+	// re-scores candidates per pop, so a per-call allocation would be paid
+	// O(candidates) times per selection.
+	gvBuf := make([]int, len(p.Targets))
+	gainOf := func(id graph.EdgeID) float64 {
+		per, _ := ix.GainVectorIDInto(id, gvBuf)
 		if per == nil {
 			return 0
 		}
@@ -79,15 +83,15 @@ func WeightedSGBGreedy(p *Problem, k int, weights []float64) (*WeightedResult, e
 	}
 
 	h := &wgainHeap{}
-	for _, e := range ix.CandidateEdges() {
-		h.items = append(h.items, wgainItem{edge: e, gain: gainOf(e), round: 0})
+	for _, id := range ix.AppendCandidateIDs(nil) {
+		h.items = append(h.items, wgainItem{id: id, gain: gainOf(id), round: 0})
 	}
 	heap.Init(h)
 	round := 0
 	for len(res.Protectors) < k && h.Len() > 0 {
 		top := h.items[0]
 		if top.round != round {
-			h.items[0].gain = gainOf(top.edge)
+			h.items[0].gain = gainOf(top.id)
 			h.items[0].round = round
 			heap.Fix(h, 0)
 			continue
@@ -96,8 +100,8 @@ func WeightedSGBGreedy(p *Problem, k int, weights []float64) (*WeightedResult, e
 		if top.gain == 0 {
 			break
 		}
-		ix.DeleteEdge(top.edge)
-		res.record(top.edge, ix.TotalSimilarity(), time.Since(start))
+		ix.DeleteEdgeID(top.id)
+		res.record(ix.Interner().Edge(top.id), ix.TotalSimilarity(), time.Since(start))
 		res.WeightedTrace = append(res.WeightedTrace, weightedSim())
 		round++
 	}
@@ -106,10 +110,12 @@ func WeightedSGBGreedy(p *Problem, k int, weights []float64) (*WeightedResult, e
 	return res, nil
 }
 
-// wgainItem / wgainHeap: float-valued CELF heap (the int heap in sgb.go
-// stays allocation-free for the common unweighted path).
+// wgainItem / wgainHeap: float-valued CELF heap keyed by EdgeID (the int
+// heap in sgb.go stays allocation-free for the common unweighted path).
+// Ascending id order is canonical edge order, so tie-breaks match the
+// unweighted greedy exactly.
 type wgainItem struct {
-	edge  graph.Edge
+	id    graph.EdgeID
 	gain  float64
 	round int
 }
@@ -122,7 +128,7 @@ func (h *wgainHeap) Less(i, j int) bool {
 	if a.gain != b.gain {
 		return a.gain > b.gain
 	}
-	return a.edge.Less(b.edge)
+	return a.id < b.id
 }
 func (h *wgainHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
 func (h *wgainHeap) Push(x interface{}) { h.items = append(h.items, x.(wgainItem)) }
@@ -139,7 +145,7 @@ func (h *wgainHeap) Pop() interface{} {
 // relationship neighbourhood, e.g. an undercover account. Protecting these
 // targets makes every tie of v unpredictable by the chosen motif.
 func NodeTargets(g *graph.Graph, v graph.NodeID) []graph.Edge {
-	nbrs := g.Neighbors(v)
+	nbrs := g.NeighborsView(v) // consumed before any mutation can occur
 	out := make([]graph.Edge, 0, len(nbrs))
 	for _, w := range nbrs {
 		out = append(out, graph.NewEdge(v, w))
