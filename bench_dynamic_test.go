@@ -1,14 +1,17 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"repro/internal/datasets"
+	"repro/internal/dynamic"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/motif"
+	"repro/internal/tpp"
 )
 
 // Dynamic-graph ablation: maintaining the motif index under a batch of edge
@@ -143,5 +146,114 @@ func BenchmarkDynamicFullRebuild(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// Session-mutation ablation (delta schema v2): absorbing full session
+// deltas — node arrivals/departures, target add/drop, mixed with edge
+// churn — through tpp.Protector.Apply on a warm session, versus what a
+// delta-unaware design must do: build fresh session state on the mutated
+// graph and target list (clone + phase-1 derivation + full motif.NewIndex
+// enumeration). BENCH_sessionmut.json records the measured gap.
+
+// newSessionMutationBench builds a warm evolving session and a lockstep
+// mutation stream over DBLPSim(4000) with 64 targets.
+func newSessionMutationBench(b *testing.B, pattern motif.Pattern, rates gen.ChurnRates) (*tpp.Protector, *gen.MutationChurn) {
+	b.Helper()
+	ds := datasets.DBLPSim(4000, 12)
+	rng := rand.New(rand.NewSource(99))
+	targets := datasets.SampleTargets(ds.Graph, 64, rng)
+	session, err := tpp.New(ds.Graph, targets, tpp.WithPattern(pattern))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := session.Run(context.Background()); err != nil { // warm the index
+		b.Fatal(err)
+	}
+	return session, gen.NewMutationChurn(ds.Graph, targets, rates, rng)
+}
+
+// benchSessionApply drives Apply over the churn stream, batches of deltaK.
+func benchSessionApply(b *testing.B, pattern motif.Pattern, rates gen.ChurnRates, deltaK int) {
+	session, churn := newSessionMutationBench(b, pattern, rates)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := dynamic.Delta(churn.Next(deltaK))
+		b.StartTimer()
+		if _, err := session.Apply(ctx, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynamicApplyNodeChurn measures absorbing pure node churn:
+// arrivals (isolated joins) and departures (the node's edges leave with
+// it), which exercise the swap-with-last remap through the whole stack —
+// graph compaction, target renaming, index universe re-spelling.
+func BenchmarkDynamicApplyNodeChurn(b *testing.B) {
+	rates := gen.ChurnRates{NodeArrive: 0.5, NodeDepart: 0.5}
+	for _, pattern := range []motif.Pattern{motif.Triangle, motif.Rectangle} {
+		b.Run(fmt.Sprintf("%s/scale=4000/delta=8", pattern), func(b *testing.B) {
+			benchSessionApply(b, pattern, rates, 8)
+		})
+	}
+}
+
+// BenchmarkDynamicApplyTargetChurn measures absorbing pure target churn: a
+// dropped target's instances die through the CSR table, an added target
+// enumerates only itself — never the other 63.
+func BenchmarkDynamicApplyTargetChurn(b *testing.B) {
+	rates := gen.ChurnRates{TargetAdd: 0.5, TargetDrop: 0.5}
+	for _, pattern := range []motif.Pattern{motif.Triangle, motif.Rectangle} {
+		b.Run(fmt.Sprintf("%s/scale=4000/delta=8", pattern), func(b *testing.B) {
+			benchSessionApply(b, pattern, rates, 8)
+		})
+	}
+}
+
+// BenchmarkSessionMutationApply measures the headline mixed workload:
+// deltas spanning edge churn, node churn and target churn (a k-event batch
+// expands to more raw mutations — each departure takes its remaining
+// incident edges with it), absorbed by a warm session.
+func BenchmarkSessionMutationApply(b *testing.B) {
+	for _, pattern := range []motif.Pattern{motif.Triangle, motif.Rectangle} {
+		for _, deltaK := range []int{8, 16} {
+			b.Run(fmt.Sprintf("%s/scale=4000/delta=%d", pattern, deltaK), func(b *testing.B) {
+				benchSessionApply(b, pattern, gen.DefaultChurnRates(), deltaK)
+			})
+		}
+	}
+}
+
+// BenchmarkSessionMutationRebuild measures the delta-unaware baseline on
+// the same mixed stream: construct a fresh session for the mutated graph
+// and target list (tpp.New validation) and derive its cached state — the
+// phase-1 graph clone and the full index enumeration its first Run pays.
+func BenchmarkSessionMutationRebuild(b *testing.B) {
+	for _, pattern := range []motif.Pattern{motif.Triangle, motif.Rectangle} {
+		for _, deltaK := range []int{8, 16} {
+			b.Run(fmt.Sprintf("%s/scale=4000/delta=%d", pattern, deltaK), func(b *testing.B) {
+				ds := datasets.DBLPSim(4000, 12)
+				rng := rand.New(rand.NewSource(99))
+				targets := datasets.SampleTargets(ds.Graph, 64, rng)
+				churn := gen.NewMutationChurn(ds.Graph, targets, gen.DefaultChurnRates(), rng)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					churn.Next(deltaK)
+					b.StartTimer()
+					fresh, err := tpp.New(churn.Graph(), churn.Targets(), tpp.WithPattern(pattern))
+					if err != nil {
+						b.Fatal(err)
+					}
+					working := fresh.Problem().Phase1()
+					if _, err := motif.NewIndex(working, pattern, fresh.Problem().Targets); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

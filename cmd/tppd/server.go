@@ -50,6 +50,11 @@ type serverStats struct {
 	deltasApplied   atomic.Int64 // graph deltas applied across all sessions
 	deltaNanos      atomic.Int64 // total wall-clock time spent applying deltas
 	lastDeltaNanos  atomic.Int64 // duration of the most recent delta apply
+
+	nodesAdded     atomic.Int64 // nodes added by deltas across all sessions
+	nodesRemoved   atomic.Int64 // nodes removed by deltas across all sessions
+	targetsAdded   atomic.Int64 // target links added by deltas
+	targetsDropped atomic.Int64 // target links dropped by deltas
 }
 
 // record folds one finished session into the aggregate counters.
@@ -289,6 +294,13 @@ type statsResponse struct {
 	DeltaApplyTotalMS float64 `json:"delta_apply_total_ms"`
 	DeltaApplyLastMS  float64 `json:"delta_apply_last_ms"`
 
+	// Delta schema v2 mutation mix: how much node and target churn the
+	// sessions have absorbed (edge churn is the deltas_applied line itself).
+	NodesAdded     int64 `json:"nodes_added"`
+	NodesRemoved   int64 `json:"nodes_removed"`
+	TargetsAdded   int64 `json:"targets_added"`
+	TargetsDropped int64 `json:"targets_dropped"`
+
 	MaxWorkers          int `json:"max_workers"`
 	MaxConcurrentInUse  int `json:"max_concurrent_in_use"`
 	MaxConcurrentConfig int `json:"max_concurrent_config"`
@@ -308,6 +320,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		DeltasApplied:       s.stats.deltasApplied.Load(),
 		DeltaApplyTotalMS:   float64(s.stats.deltaNanos.Load()) / 1e6,
 		DeltaApplyLastMS:    float64(s.stats.lastDeltaNanos.Load()) / 1e6,
+		NodesAdded:          s.stats.nodesAdded.Load(),
+		NodesRemoved:        s.stats.nodesRemoved.Load(),
+		TargetsAdded:        s.stats.targetsAdded.Load(),
+		TargetsDropped:      s.stats.targetsDropped.Load(),
 		MaxWorkers:          runtime.GOMAXPROCS(0),
 		MaxConcurrentInUse:  len(s.sem),
 		MaxConcurrentConfig: cap(s.sem),

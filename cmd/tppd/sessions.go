@@ -214,25 +214,41 @@ type sessionResponse struct {
 	IndexBuilds   int         `json:"index_builds"`
 }
 
-// deltaRequest is one batch of graph mutations against a session, in the
-// session's node labels.
+// deltaRequest is one batch of session mutations against a session, in the
+// session's node labels (delta schema v2: edge churn plus node churn and
+// target-set edits). add_nodes labels must be new and may be referenced by
+// insert and add_targets in the same delta; remove_nodes must end the delta
+// isolated (all their edges removed, incident targets dropped);
+// drop_targets must name current targets; add_targets must be absent
+// non-target pairs (the new link is protected from the moment it exists —
+// it never appears in a released graph).
 type deltaRequest struct {
-	Insert    [][2]string `json:"insert,omitempty"`
-	Remove    [][2]string `json:"remove,omitempty"`
-	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+	Insert      [][2]string `json:"insert,omitempty"`
+	Remove      [][2]string `json:"remove,omitempty"`
+	AddNodes    []string    `json:"add_nodes,omitempty"`
+	RemoveNodes []string    `json:"remove_nodes,omitempty"`
+	AddTargets  [][2]string `json:"add_targets,omitempty"`
+	DropTargets [][2]string `json:"drop_targets,omitempty"`
+	TimeoutMS   int64       `json:"timeout_ms,omitempty"`
 }
 
 // deltaResponse reports one applied delta.
 type deltaResponse struct {
-	Inserted        int     `json:"inserted"`
-	Removed         int     `json:"removed"`
-	Nodes           int     `json:"nodes"`
-	Edges           int     `json:"edges"`
-	Incremental     bool    `json:"incremental"`
-	TouchedTargets  int     `json:"touched_targets"`
-	KilledInstances int     `json:"killed_instances"`
-	Instances       int     `json:"instances"`
-	ElapsedMS       float64 `json:"elapsed_ms"`
+	Inserted         int     `json:"inserted"`
+	Removed          int     `json:"removed"`
+	NodesAdded       int     `json:"nodes_added"`
+	NodesRemoved     int     `json:"nodes_removed"`
+	TargetsAdded     int     `json:"targets_added"`
+	TargetsDropped   int     `json:"targets_dropped"`
+	Nodes            int     `json:"nodes"`
+	Edges            int     `json:"edges"`
+	Targets          int     `json:"targets"`
+	Incremental      bool    `json:"incremental"`
+	TouchedTargets   int     `json:"touched_targets"`
+	KilledInstances  int     `json:"killed_instances"`
+	DroppedInstances int     `json:"dropped_instances"`
+	Instances        int     `json:"instances"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
 }
 
 // sessionProtectRequest is a per-run override set for a session protect
@@ -414,21 +430,35 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 		writeRunError(w, err)
 		return
 	}
+	// The delta committed: fold the node churn into the session's label
+	// table (new labels join in ID order, the remap renames/retires the
+	// rest) before anything reads it again.
+	applyDeltaLabels(rec.lab, req.AddNodes, rep)
 	rec.deltas++
 	s.stats.deltasApplied.Add(1)
+	s.stats.nodesAdded.Add(int64(rep.NodesAdded))
+	s.stats.nodesRemoved.Add(int64(rep.NodesRemoved))
+	s.stats.targetsAdded.Add(int64(rep.TargetsAdded))
+	s.stats.targetsDropped.Add(int64(rep.TargetsDropped))
 	ns := int64(rep.Elapsed)
 	s.stats.deltaNanos.Add(ns)
 	s.stats.lastDeltaNanos.Store(ns)
 	resp := deltaResponse{
-		Inserted:        rep.Inserted,
-		Removed:         rep.Removed,
-		Nodes:           rep.Nodes,
-		Edges:           rep.Edges,
-		Incremental:     rep.Incremental,
-		TouchedTargets:  rep.IndexStats.TouchedTargets,
-		KilledInstances: rep.IndexStats.KilledInstances,
-		Instances:       rep.IndexStats.Instances,
-		ElapsedMS:       float64(rep.Elapsed.Microseconds()) / 1000,
+		Inserted:         rep.Inserted,
+		Removed:          rep.Removed,
+		NodesAdded:       rep.NodesAdded,
+		NodesRemoved:     rep.NodesRemoved,
+		TargetsAdded:     rep.TargetsAdded,
+		TargetsDropped:   rep.TargetsDropped,
+		Nodes:            rep.Nodes,
+		Edges:            rep.Edges,
+		Targets:          rep.Targets,
+		Incremental:      rep.Incremental,
+		TouchedTargets:   rep.IndexStats.TouchedTargets,
+		KilledInstances:  rep.IndexStats.KilledInstances,
+		DroppedInstances: rep.IndexStats.DroppedInstances,
+		Instances:        rep.IndexStats.Instances,
+		ElapsedMS:        float64(rep.Elapsed.Microseconds()) / 1000,
 	}
 	// All CPU-bound work is done: hand back the slot and the session
 	// before streaming the response to a possibly-slow client.
@@ -437,35 +467,100 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// resolveDelta maps the request's labelled edge pairs into a Delta.
-// Unknown labels are the client's mistake; structural problems (self loops,
-// conflicts, absent/present edges, target links) are caught by the
-// session's own validation and surface as dynamic.ErrInvalid.
+// resolveDelta maps the request's labelled mutation batch into a Delta.
+// add_nodes labels must be fresh and distinct; they resolve to the next
+// dense IDs and the rest of the request may reference them. Unknown labels
+// are the client's mistake; structural problems (self loops, conflicts,
+// absent/present edges, target links, non-isolated node removals) are
+// caught by the session's own validation and surface as dynamic.ErrInvalid.
 func resolveDelta(req *deltaRequest, lab *graph.Labeling) (dynamic.Delta, error) {
+	pending := make(map[string]graph.NodeID, len(req.AddNodes))
+	for i, name := range req.AddNodes {
+		if name == "" {
+			return dynamic.Delta{}, fmt.Errorf("empty node label in add_nodes")
+		}
+		if _, ok := lab.ToID[name]; ok {
+			return dynamic.Delta{}, fmt.Errorf("add_nodes label %q already names a node", name)
+		}
+		if _, ok := pending[name]; ok {
+			return dynamic.Delta{}, fmt.Errorf("add_nodes label %q repeated", name)
+		}
+		pending[name] = graph.NodeID(len(lab.ToName) + i)
+	}
+	lookup := func(s, kind string) (graph.NodeID, error) {
+		if id, ok := lab.ToID[s]; ok {
+			return id, nil
+		}
+		if id, ok := pending[s]; ok {
+			return id, nil
+		}
+		return 0, fmt.Errorf("%s node %q not in session graph", kind, s)
+	}
 	resolve := func(pairs [][2]string, kind string) ([]graph.Edge, error) {
 		out := make([]graph.Edge, 0, len(pairs))
 		for _, p := range pairs {
-			u, ok := lab.ToID[p[0]]
-			if !ok {
-				return nil, fmt.Errorf("%s node %q not in session graph", kind, p[0])
+			u, err := lookup(p[0], kind)
+			if err != nil {
+				return nil, err
 			}
-			v, ok := lab.ToID[p[1]]
-			if !ok {
-				return nil, fmt.Errorf("%s node %q not in session graph", kind, p[1])
+			v, err := lookup(p[1], kind)
+			if err != nil {
+				return nil, err
 			}
 			out = append(out, graph.Edge{U: u, V: v})
 		}
 		return out, nil
 	}
-	ins, err := resolve(req.Insert, "insert")
-	if err != nil {
+	var d dynamic.Delta
+	var err error
+	if d.Insert, err = resolve(req.Insert, "insert"); err != nil {
 		return dynamic.Delta{}, err
 	}
-	rem, err := resolve(req.Remove, "remove")
-	if err != nil {
+	if d.Remove, err = resolve(req.Remove, "remove"); err != nil {
 		return dynamic.Delta{}, err
 	}
-	return dynamic.Delta{Insert: ins, Remove: rem}, nil
+	if d.AddTargets, err = resolve(req.AddTargets, "add_targets"); err != nil {
+		return dynamic.Delta{}, err
+	}
+	if d.DropTargets, err = resolve(req.DropTargets, "drop_targets"); err != nil {
+		return dynamic.Delta{}, err
+	}
+	d.AddNodes = len(req.AddNodes)
+	for _, name := range req.RemoveNodes {
+		if _, ok := pending[name]; ok {
+			return dynamic.Delta{}, fmt.Errorf("remove_nodes node %q is added by this same delta", name)
+		}
+		id, err := lookup(name, "remove_nodes")
+		if err != nil {
+			return dynamic.Delta{}, err
+		}
+		d.RemoveNodes = append(d.RemoveNodes, id)
+	}
+	return d, nil
+}
+
+// applyDeltaLabels folds a committed delta into the session's label table:
+// the add_nodes labels join in ID order (matching the dense IDs
+// resolveDelta assigned), then the report's node remap renames survivors
+// and retires the removed labels.
+func applyDeltaLabels(lab *graph.Labeling, added []string, rep *tpp.DeltaReport) {
+	for _, name := range added {
+		lab.ToID[name] = graph.NodeID(len(lab.ToName))
+		lab.ToName = append(lab.ToName, name)
+	}
+	if rep.NodeRemap == nil {
+		return
+	}
+	old := lab.ToName
+	lab.ToName = make([]string, rep.Nodes)
+	for i, name := range old {
+		if nw := rep.NodeRemap[i]; nw == graph.NoNode {
+			delete(lab.ToID, name)
+		} else {
+			lab.ToName[nw] = name
+			lab.ToID[name] = nw
+		}
+	}
 }
 
 // handleSessionProtect runs one protection request on the session's current

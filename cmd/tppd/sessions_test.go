@@ -237,10 +237,13 @@ func TestSessionTTLEviction(t *testing.T) {
 }
 
 // TestSessionConcurrentDeltaProtect hammers one session with interleaved
-// delta and protect traffic — the subsystem's new race surface. Run under
-// -race in CI; correctness here is "no 5xx, no torn state".
+// delta and protect traffic — the subsystem's race surface — covering the
+// whole delta schema v2: edge toggles, node join/leave cycles and target
+// add/drop cycles, each on worker-private resources so every delta is
+// valid regardless of interleaving. Run under -race in CI; correctness
+// here is "no 5xx, no torn state, counters add up".
 func TestSessionConcurrentDeltaProtect(t *testing.T) {
-	_, ts := newSessionTestServer(t, time.Minute)
+	srv, ts := newSessionTestServer(t, time.Minute)
 	id := createQuickstartSession(t, ts)
 
 	var wg sync.WaitGroup
@@ -252,14 +255,26 @@ func TestSessionConcurrentDeltaProtect(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 8; i++ {
 				if w%2 == 0 {
-					// Writers toggle a private edge per worker: insert on
-					// even rounds, remove on odd, so each delta is valid.
-					pair := [2]string{"8", fmt.Sprintf("%d", w/2)} // 8-0, 8-2: absent initially
+					// Writers cycle worker-private mutations: toggle an
+					// edge, then join a labelled node + promote a private
+					// target, then retire both again.
+					pair := [2]string{"8", fmt.Sprintf("%d", w/2)}  // 8-0, 8-2: absent initially
+					tmp := fmt.Sprintf("tmp%d", w)                  // private node label
+					tgt := [2]string{"9", fmt.Sprintf("%d", 3+w/2)} // 9-3, 9-4: absent, non-target
 					var req deltaRequest
-					if i%2 == 0 {
+					switch i % 4 {
+					case 0:
 						req.Insert = [][2]string{pair}
-					} else {
+					case 1:
 						req.Remove = [][2]string{pair}
+					case 2:
+						req.AddNodes = []string{tmp}
+						req.Insert = [][2]string{{tmp, "6"}}
+						req.AddTargets = [][2]string{tgt}
+					default:
+						req.Remove = [][2]string{{tmp, "6"}}
+						req.RemoveNodes = []string{tmp}
+						req.DropTargets = [][2]string{tgt}
 					}
 					resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/delta", req)
 					if resp.StatusCode != http.StatusOK {
@@ -285,5 +300,158 @@ func TestSessionConcurrentDeltaProtect(t *testing.T) {
 	close(errs)
 	for e := range errs {
 		t.Error(e)
+	}
+	if t.Failed() {
+		return
+	}
+	// Every writer ran 2 full join/leave + add/drop cycles: the aggregate
+	// mutation-mix counters must balance exactly.
+	st := &srv.stats
+	if st.nodesAdded.Load() != 4 || st.nodesRemoved.Load() != 4 ||
+		st.targetsAdded.Load() != 4 || st.targetsDropped.Load() != 4 {
+		t.Fatalf("mutation mix = %d/%d/%d/%d added/removed/t-added/t-dropped, want 4 each",
+			st.nodesAdded.Load(), st.nodesRemoved.Load(), st.targetsAdded.Load(), st.targetsDropped.Load())
+	}
+}
+
+// TestSessionDeltaV2NodeAndTargetChurn walks the full delta schema v2
+// lifecycle over HTTP: a labelled node joins with edges and a new target is
+// promoted, a node departs (label retired, survivors renumbered under the
+// hood but still addressable by label), the extra target is dropped again,
+// and protect keeps working throughout.
+func TestSessionDeltaV2NodeAndTargetChurn(t *testing.T) {
+	_, ts := newSessionTestServer(t, 0)
+	id := createQuickstartSession(t, ts)
+	if resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/protect", sessionProtectRequest{}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm protect: status %d: %s", resp.StatusCode, body)
+	}
+
+	// "alice" joins with two friendships; pair 3-6 becomes sensitive.
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/delta", deltaRequest{
+		AddNodes:   []string{"alice"},
+		Insert:     [][2]string{{"alice", "0"}, {"alice", "1"}},
+		AddTargets: [][2]string{{"3", "6"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta 1: status %d: %s", resp.StatusCode, body)
+	}
+	var drep deltaResponse
+	if err := json.Unmarshal(body, &drep); err != nil {
+		t.Fatal(err)
+	}
+	if drep.NodesAdded != 1 || drep.Inserted != 2 || drep.TargetsAdded != 1 ||
+		drep.Nodes != 11 || drep.Targets != 3 || !drep.Incremental {
+		t.Fatalf("delta 1 response = %+v, want 1 node + 2 edges + 1 target on 11 nodes", drep)
+	}
+
+	// "9" leaves the network (its only edge removed in the same delta).
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/delta", deltaRequest{
+		Remove:      [][2]string{{"8", "9"}},
+		RemoveNodes: []string{"9"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta 2: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &drep); err != nil {
+		t.Fatal(err)
+	}
+	if drep.NodesRemoved != 1 || drep.Removed != 1 || drep.Nodes != 10 {
+		t.Fatalf("delta 2 response = %+v, want 1 node + 1 edge removed", drep)
+	}
+
+	// The retired label must be gone ...
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/delta", deltaRequest{
+		Insert: [][2]string{{"9", "0"}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("delta on retired label: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	// ... while "alice" — renumbered under the hood by the departure —
+	// stays addressable, as does the added target for dropping.
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/delta", deltaRequest{
+		Remove:      [][2]string{{"alice", "1"}},
+		DropTargets: [][2]string{{"3", "6"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta 3: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &drep); err != nil {
+		t.Fatal(err)
+	}
+	if drep.TargetsDropped != 1 || drep.Targets != 2 || drep.Removed != 1 {
+		t.Fatalf("delta 3 response = %+v, want 1 target dropped back to 2", drep)
+	}
+
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/v1/sessions/"+id, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get: status %d: %s", resp.StatusCode, body)
+	}
+	var info sessionResponse
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes != 10 || len(info.Targets) != 2 || info.DeltasApplied != 3 {
+		t.Fatalf("session info = %+v, want 10 nodes / 2 targets / 3 deltas", info)
+	}
+	for _, tgt := range info.Targets {
+		for _, lbl := range tgt {
+			if lbl == "9" {
+				t.Fatalf("targets %v reference the retired label 9", info.Targets)
+			}
+		}
+	}
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/protect", sessionProtectRequest{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("protect after churn: status %d: %s", resp.StatusCode, body)
+	}
+	var prep protectResponse
+	if err := json.Unmarshal(body, &prep); err != nil {
+		t.Fatal(err)
+	}
+	if !prep.FullProtection || len(prep.Targets) != 2 {
+		t.Fatalf("protect after churn = %+v, want full protection of 2 targets", prep)
+	}
+
+	// The aggregate mutation-mix counters must have followed along.
+	_, body = doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil)
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.NodesAdded != 1 || st.NodesRemoved != 1 || st.TargetsAdded != 1 || st.TargetsDropped != 1 {
+		t.Fatalf("stats mutation mix = %+v, want 1/1/1/1", st)
+	}
+}
+
+func TestSessionDeltaV2Rejections(t *testing.T) {
+	_, ts := newSessionTestServer(t, 0)
+	id := createQuickstartSession(t, ts)
+	cases := []struct {
+		name string
+		req  deltaRequest
+	}{
+		{"add existing label", deltaRequest{AddNodes: []string{"3"}}},
+		{"add duplicate label", deltaRequest{AddNodes: []string{"x", "x"}}},
+		{"add empty label", deltaRequest{AddNodes: []string{""}}},
+		{"remove unknown label", deltaRequest{RemoveNodes: []string{"ghost"}}},
+		{"remove busy node", deltaRequest{RemoveNodes: []string{"0"}}},
+		{"remove same-delta arrival", deltaRequest{AddNodes: []string{"y"}, RemoveNodes: []string{"y"}}},
+		{"add target existing edge", deltaRequest{AddTargets: [][2]string{{"0", "1"}}}},
+		{"add target already target", deltaRequest{AddTargets: [][2]string{{"0", "5"}}}},
+		{"drop non-target", deltaRequest{DropTargets: [][2]string{{"0", "1"}}}},
+		{"drop every target", deltaRequest{DropTargets: [][2]string{{"0", "5"}, {"2", "7"}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/delta", tc.req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+			}
+		})
+	}
+	// The session must still work after every rejection.
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/protect", sessionProtectRequest{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("protect after rejections: status %d: %s", resp.StatusCode, body)
 	}
 }

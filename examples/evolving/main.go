@@ -1,14 +1,19 @@
 // Evolving: track a changing social graph with one long-lived session.
 //
 // The paper protects a static snapshot, but real social graphs churn
-// continuously — friendships form and dissolve every minute. This example
-// drives a tpp.Protector session through a seeded churn stream
-// (gen.NewChurn): each round applies a batch of edge insertions and
-// removals with session.Apply, which mutates the session's graph and
+// continuously — friendships form and dissolve, members join and leave,
+// and which relationships are sensitive changes too. This example drives a
+// tpp.Protector session through a seeded full-mutation stream
+// (gen.NewMutationChurn): each round applies a batch of edge insertions
+// and removals, node arrivals and departures, and target add/drop with
+// session.Apply, which mutates the session's graph and target list and
 // incrementally maintains its motif index (time proportional to the delta,
-// not the graph), then re-protects on the updated state. The selections
-// after every delta are bit-identical to a fresh session built on the
-// mutated graph — the index never has to be re-enumerated.
+// not the graph — a dropped target's instances die through the index's CSR
+// table, an added target enumerates only itself, a departure renames at
+// most one surviving node), then re-protects on the updated state. The
+// selections after every delta are bit-identical to a fresh session built
+// on the mutated graph and mutated target list — the index never has to be
+// re-enumerated.
 //
 // Run with: go run ./examples/evolving
 package main
@@ -28,8 +33,7 @@ import (
 )
 
 func main() {
-	// A DBLP-like collaboration network and 96 sensitive links to protect
-	// across its whole lifetime.
+	// A DBLP-like collaboration network and 96 initially sensitive links.
 	ds := datasets.DBLPSim(3000, 7)
 	rng := rand.New(rand.NewSource(7))
 	targets := datasets.SampleTargets(ds.Graph, 96, rng)
@@ -52,12 +56,13 @@ func main() {
 		len(res.Protectors), time.Since(start).Round(time.Microsecond),
 		session.IndexBuildTime().Round(time.Microsecond))
 
-	// The graph now evolves: 40 mutations per round (half insertions, half
-	// removals), never touching the protected target links.
-	churn := gen.NewChurn(ds.Graph, targets, 0.5, rng)
+	// The network now evolves: 40 mutations per round — mostly edge churn,
+	// plus members joining and leaving and sensitive links being promoted
+	// and retired — never touching a protected link as an ordinary edge.
+	churn := gen.NewMutationChurn(ds.Graph, targets, gen.DefaultChurnRates(), rng)
 	for round := 1; round <= 5; round++ {
-		ins, rem := churn.Next(40)
-		rep, err := session.Apply(ctx, dynamic.Delta{Insert: ins, Remove: rem})
+		delta := dynamic.Delta(churn.Next(40))
+		rep, err := session.Apply(ctx, delta)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -65,10 +70,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("round %d: +%d/-%d edges applied in %v (re-enumerated %d/%d targets, killed %d instances) → k* = %d, final similarity %d\n",
-			round, rep.Inserted, rep.Removed, rep.Elapsed.Round(time.Microsecond),
-			rep.IndexStats.TouchedTargets, len(targets), rep.IndexStats.KilledInstances,
-			len(res.Protectors), res.FinalSimilarity())
+		fmt.Printf("round %d: +%d/-%d edges, +%d/-%d nodes, +%d/-%d targets in %v (re-enumerated %d old targets, killed %d, dropped %d instances) → %d targets, k* = %d, final similarity %d\n",
+			round, rep.Inserted, rep.Removed, rep.NodesAdded, rep.NodesRemoved,
+			rep.TargetsAdded, rep.TargetsDropped, rep.Elapsed.Round(time.Microsecond),
+			rep.IndexStats.TouchedTargets, rep.IndexStats.KilledInstances, rep.IndexStats.DroppedInstances,
+			rep.Targets, len(res.Protectors), res.FinalSimilarity())
 	}
 
 	fmt.Printf("\nafter %d deltas: index enumerations %d (the incremental path never rebuilt)\n",

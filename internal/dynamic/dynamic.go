@@ -1,19 +1,29 @@
 // Package dynamic maintains TPP protection state over an evolving graph.
 //
 // The paper protects a static snapshot, but the social graphs it models
-// change continuously. This package defines the unit of change — a Delta,
-// a validated and canonicalized batch of edge insertions and removals —
-// and the contract for applying one to a graph and its motif index with
-// the dominant cost — subgraph enumeration — proportional to the delta's
-// reach instead of the graph: removals kill exactly the incident motif
-// instances through the index's CSR edge → instance table, and insertions
-// re-enumerate only the targets they can possibly complete an instance for
-// (motif.Index.ApplyDelta; the flat-array rewire that follows costs the
-// same as an index Reset). The updated
-// index is bit-identical — similarities, gains, selections — to a fresh
-// motif.NewIndex on the mutated graph; the property tests in this package
-// pin that guarantee down across patterns, worker counts and random delta
-// streams.
+// change continuously — and so does what needs protecting. This package
+// defines the unit of change, a Delta: a validated and canonicalized batch
+// of session mutations covering edge insertions and removals, node arrivals
+// and departures, and target-set edits (promote an absent pair to a
+// protected target link, retire a current target). It also defines the
+// contract for applying one to a graph and its motif index with the
+// dominant cost — subgraph enumeration — proportional to the delta's reach
+// instead of the graph: removals and dropped targets kill exactly the
+// incident motif instances through the index's CSR edge → instance table,
+// insertions re-enumerate only the targets they can possibly complete an
+// instance for, an added target enumerates only itself, and node departures
+// renumber the flat state without enumerating anything
+// (motif.Index.ApplyMutation; the flat-array rewire that follows costs the
+// same as an index Reset). The updated index is bit-identical —
+// similarities, gains, selections — to a fresh motif.NewIndex on the
+// mutated graph and mutated target list; the property tests in this package
+// pin that guarantee down across patterns, worker counts and random
+// mutation streams.
+//
+// Node departures use graph.RemoveNode's swap-with-last compaction, so a
+// delta that removes nodes renames at most len(RemoveNodes) surviving
+// nodes; the renaming is returned to the caller as a remap (see
+// Delta.ApplyToGraph) so label tables and caches can follow along.
 //
 // Up the stack, tpp.Protector.Apply threads a Delta through a long-lived
 // protection session, and cmd/tppd exposes session-scoped deltas over HTTP.
@@ -37,45 +47,147 @@ func invalidf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
 }
 
-// Delta is one batch of graph mutations: edges to insert and edges to
-// remove, applied atomically (removals first, then insertions — the order
-// is unobservable because Canonicalize rejects overlap between the lists).
+// Delta is one batch of session mutations, applied atomically: edges to
+// insert and remove, nodes to add and remove, and target links to add and
+// drop. The zero value mutates nothing.
+//
+// Field semantics (all node IDs are pre-delta IDs; on a graph with n nodes
+// the AddNodes arrivals receive IDs n..n+AddNodes-1 and may be referenced
+// by Insert and AddTargets):
+//
+//   - Insert / Remove mutate ordinary (non-target) edges.
+//   - AddNodes appends that many fresh isolated nodes.
+//   - RemoveNodes deletes nodes. A removed node must be isolated once the
+//     delta's edge removals and target drops have taken effect, and must
+//     not be an endpoint of any surviving or added target.
+//   - AddTargets promotes absent non-target pairs to protected target
+//     links: the link joins the target list (appended in canonical order
+//     after the survivors) and the session's original graph, but never the
+//     phase-1 graph — targets are withheld from release by definition.
+//   - DropTargets retires current targets: the link leaves the target list
+//     and the session graph entirely (it was never in the phase-1 graph).
+//     A delta may not retire every target: a session must always have at
+//     least one link to protect.
+//
+// gen.Mutation is the field-identical struct emitted by the mutation churn
+// generator; convert with dynamic.Delta(m).
 type Delta struct {
 	Insert []graph.Edge
 	Remove []graph.Edge
+
+	AddNodes    int
+	RemoveNodes []graph.NodeID
+
+	AddTargets  []graph.Edge
+	DropTargets []graph.Edge
 }
 
 // Empty reports whether the delta mutates nothing.
-func (d Delta) Empty() bool { return len(d.Insert) == 0 && len(d.Remove) == 0 }
+func (d Delta) Empty() bool {
+	return len(d.Insert) == 0 && len(d.Remove) == 0 &&
+		d.AddNodes == 0 && len(d.RemoveNodes) == 0 &&
+		len(d.AddTargets) == 0 && len(d.DropTargets) == 0
+}
 
-// Size returns the number of edge mutations in the delta.
-func (d Delta) Size() int { return len(d.Insert) + len(d.Remove) }
+// Size returns the number of mutations in the delta, counting each edge,
+// node and target change as one.
+func (d Delta) Size() int {
+	return len(d.Insert) + len(d.Remove) +
+		d.AddNodes + len(d.RemoveNodes) +
+		len(d.AddTargets) + len(d.DropTargets)
+}
 
 // Canonicalize returns the delta's normal form: every edge canonical
 // (U < V), each list sorted and deduplicated. It fails if an edge is a self
-// loop or appears in both lists (an insert+remove of the same edge has no
-// coherent batch semantics).
+// loop, if AddNodes is negative, or if the same edge appears in two lists
+// whose combination has no coherent batch semantics (insert+remove,
+// insert+add-target, remove+add-target, add-target+drop-target).
 func (d Delta) Canonicalize() (Delta, error) {
-	ins, err := canonEdges(d.Insert, "insertion")
-	if err != nil {
-		return Delta{}, err
+	if d.AddNodes < 0 {
+		return Delta{}, invalidf("negative node addition count %d", d.AddNodes)
 	}
-	rem, err := canonEdges(d.Remove, "removal")
-	if err != nil {
-		return Delta{}, err
+	out := Delta{AddNodes: d.AddNodes}
+	// Fast path for already-canonical deltas (everything the mutation churn
+	// or a replayed canonical delta produces): verify in place and reuse the
+	// input slices — the session apply path then allocates nothing here.
+	if edgesCanonical(d.Insert) && edgesCanonical(d.Remove) &&
+		edgesCanonical(d.AddTargets) && edgesCanonical(d.DropTargets) &&
+		nodesCanonical(d.RemoveNodes) {
+		out = d
+	} else {
+		var err error
+		if out.Insert, err = canonEdges(d.Insert, "insertion"); err != nil {
+			return Delta{}, err
+		}
+		if out.Remove, err = canonEdges(d.Remove, "removal"); err != nil {
+			return Delta{}, err
+		}
+		if out.AddTargets, err = canonEdges(d.AddTargets, "added target"); err != nil {
+			return Delta{}, err
+		}
+		if out.DropTargets, err = canonEdges(d.DropTargets, "dropped target"); err != nil {
+			return Delta{}, err
+		}
+		if len(d.RemoveNodes) > 0 {
+			out.RemoveNodes = slices.Clone(d.RemoveNodes)
+			slices.Sort(out.RemoveNodes)
+			out.RemoveNodes = slices.Compact(out.RemoveNodes)
+		}
 	}
-	// Both lists are sorted: one merge walk finds any overlap.
-	for i, j := 0, 0; i < len(ins) && j < len(rem); {
+	for _, o := range []struct {
+		a, b         []graph.Edge
+		kindA, kindB string
+	}{
+		{out.Insert, out.Remove, "insertion", "removal"},
+		{out.Insert, out.AddTargets, "insertion", "added target"},
+		{out.Remove, out.AddTargets, "removal", "added target"},
+		{out.AddTargets, out.DropTargets, "added target", "dropped target"},
+	} {
+		if e, ok := overlap(o.a, o.b); ok {
+			return Delta{}, invalidf("edge %v appears as both %s and %s", e, o.kindA, o.kindB)
+		}
+	}
+	return out, nil
+}
+
+// edgesCanonical reports whether every edge is canonical (U < V, no self
+// loops) and the list strictly ascends (sorted, duplicate-free).
+func edgesCanonical(es []graph.Edge) bool {
+	for i, e := range es {
+		if e.U >= e.V {
+			return false
+		}
+		if i > 0 && !es[i-1].Less(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// nodesCanonical reports whether the node list strictly ascends.
+func nodesCanonical(ns []graph.NodeID) bool {
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1] >= ns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// overlap reports the first edge common to two sorted lists via one merge
+// walk.
+func overlap(a, b []graph.Edge) (graph.Edge, bool) {
+	for i, j := 0, 0; i < len(a) && j < len(b); {
 		switch {
-		case ins[i] == rem[j]:
-			return Delta{}, invalidf("edge %v appears as both insertion and removal", ins[i])
-		case ins[i].Less(rem[j]):
+		case a[i] == b[j]:
+			return a[i], true
+		case a[i].Less(b[j]):
 			i++
 		default:
 			j++
 		}
 	}
-	return Delta{Insert: ins, Remove: rem}, nil
+	return graph.Edge{}, false
 }
 
 func canonEdges(es []graph.Edge, kind string) ([]graph.Edge, error) {
@@ -97,29 +209,96 @@ func canonEdges(es []graph.Edge, kind string) ([]graph.Edge, error) {
 }
 
 // Validate checks a canonical delta against the graph it is about to mutate
-// and the protected target links. Insertions must reference existing nodes
-// and be absent from g; removals must be present; neither may touch a
-// target link — the target set is the session's identity, and mutating it
-// would silently change what is being protected. Pass the original graph
-// (targets present) or the phase-1 graph (targets removed); the target
-// check is independent of which.
+// and the protected target links. Insertions must be absent edges over
+// existing (or same-delta added) nodes; removals must be present; neither
+// may touch a target link. Added targets must be absent non-target pairs;
+// dropped targets must currently be targets, and at least one target must
+// survive the delta. A removed node must be in range, isolated once the
+// delta's edge removals (and drops of its incident targets) have taken
+// effect, untouched by insertions and added targets, and not an endpoint of
+// any surviving target. Pass the original graph (targets present) or the
+// phase-1 graph (targets removed); every check is arranged to be
+// independent of which.
 func (d Delta) Validate(g *graph.Graph, targets []graph.Edge) error {
-	tset := make(map[graph.Edge]struct{}, len(targets))
-	for _, t := range targets {
-		if !t.Canonical() {
-			t = graph.Edge{U: t.V, V: t.U}
+	// Target membership is queried a few dozen times per delta. For
+	// session-sized target lists a direct linear scan (two comparisons per
+	// target, no allocation, no sort) beats building any index; only large
+	// lists amortise a sorted packed copy.
+	var isTarget func(e graph.Edge) bool
+	if len(targets) < 256 {
+		isTarget = func(e graph.Edge) bool {
+			for _, t := range targets {
+				if t == e || (t.U == e.V && t.V == e.U) {
+					return true
+				}
+			}
+			return false
 		}
-		tset[t] = struct{}{}
+	} else {
+		tpk := make([]uint64, len(targets))
+		for i, t := range targets {
+			if !t.Canonical() {
+				t = graph.Edge{U: t.V, V: t.U}
+			}
+			tpk[i] = graph.PackEdge(t)
+		}
+		slices.Sort(tpk)
+		isTarget = func(e graph.Edge) bool {
+			_, ok := slices.BinarySearch(tpk, graph.PackEdge(e))
+			return ok
+		}
+	}
+	isDropped := func(e graph.Edge) bool { // DropTargets is canonical: sorted, deduped
+		_, ok := slices.BinarySearchFunc(d.DropTargets, e, func(a, b graph.Edge) int {
+			if a == b {
+				return 0
+			}
+			if a.Less(b) {
+				return -1
+			}
+			return 1
+		})
+		return ok
 	}
 	n := graph.NodeID(g.NumNodes())
-	for _, e := range d.Insert {
-		if e.U < 0 || e.V >= n {
-			return invalidf("insertion %v references a node outside [0,%d)", e, n)
+	nAfter := n + graph.NodeID(d.AddNodes)
+	for _, x := range d.RemoveNodes {
+		if x < 0 || x >= n {
+			return invalidf("removed node %d outside [0,%d)", x, n)
 		}
-		if _, ok := tset[e]; ok {
+	}
+	removedNode := func(x graph.NodeID) bool { // RemoveNodes is canonical: sorted
+		_, ok := slices.BinarySearch(d.RemoveNodes, x)
+		return ok
+	}
+	for _, t := range d.DropTargets {
+		if !isTarget(t) {
+			return invalidf("dropped target %v is not a current target", t)
+		}
+	}
+	if len(targets) > 0 && len(targets)-len(d.DropTargets)+len(d.AddTargets) == 0 {
+		return invalidf("delta drops every target; a session must keep at least one")
+	}
+	touchesRemoved := func(e graph.Edge) (graph.NodeID, bool) {
+		if removedNode(e.U) {
+			return e.U, true
+		}
+		if removedNode(e.V) {
+			return e.V, true
+		}
+		return 0, false
+	}
+	for _, e := range d.Insert {
+		if e.U < 0 || e.V >= nAfter {
+			return invalidf("insertion %v references a node outside [0,%d)", e, nAfter)
+		}
+		if isTarget(e) {
 			return invalidf("insertion %v is a protected target link", e)
 		}
-		if g.HasEdgeE(e) {
+		if x, ok := touchesRemoved(e); ok {
+			return invalidf("insertion %v touches removed node %d", e, x)
+		}
+		if e.V < n && g.HasEdgeE(e) {
 			return invalidf("insertion %v already present in the graph", e)
 		}
 	}
@@ -127,33 +306,171 @@ func (d Delta) Validate(g *graph.Graph, targets []graph.Edge) error {
 		if e.U < 0 || e.V >= n {
 			return invalidf("removal %v references a node outside [0,%d)", e, n)
 		}
-		if _, ok := tset[e]; ok {
+		if isTarget(e) {
 			return invalidf("removal %v is a protected target link", e)
 		}
 		if !g.HasEdgeE(e) {
 			return invalidf("removal %v not present in the graph", e)
 		}
 	}
+	for _, e := range d.AddTargets {
+		if e.U < 0 || e.V >= nAfter {
+			return invalidf("added target %v references a node outside [0,%d)", e, nAfter)
+		}
+		if isTarget(e) {
+			return invalidf("added target %v is already a target", e)
+		}
+		if x, ok := touchesRemoved(e); ok {
+			return invalidf("added target %v touches removed node %d", e, x)
+		}
+		if e.V < n && g.HasEdgeE(e) {
+			return invalidf("added target %v must be an absent link", e)
+		}
+	}
+	for _, x := range d.RemoveNodes {
+		for _, t := range targets {
+			if !t.Canonical() {
+				t = graph.Edge{U: t.V, V: t.U}
+			}
+			if t.Has(x) && !isDropped(t) {
+				return invalidf("removed node %d is an endpoint of target %v", x, t)
+			}
+		}
+		// Isolation: every incident edge must leave with this delta. Degree
+		// is counted on whichever graph we were given; a dropped incident
+		// target contributes only where its link is present (the original
+		// graph), so the arithmetic agrees on both.
+		need := g.Degree(x)
+		for _, e := range d.Remove {
+			if e.Has(x) {
+				need--
+			}
+		}
+		for _, t := range d.DropTargets {
+			if t.Has(x) && g.HasEdgeE(t) {
+				need--
+			}
+		}
+		if need != 0 {
+			return invalidf("removed node %d keeps %d incident edges after the delta's removals", x, need)
+		}
+	}
 	return nil
 }
 
-// ApplyToGraph mutates g in place: removals first, then insertions. The
-// delta must have passed Validate against g (or a graph with the same edge
-// membership for the delta's edges); on a validated delta every removal
-// and insertion takes effect.
-func (d Delta) ApplyToGraph(g *graph.Graph) {
+// ApplyToGraph mutates a phase-1 style graph (target links absent) in
+// place: node additions, then edge removals, then insertions, then node
+// removals. Target membership changes never touch a phase-1 graph — target
+// links are withheld from it by definition. It returns the node remap
+// produced by the removals (remap[old] = new ID, graph.NoNode for removed
+// nodes; nil when no nodes were removed — see graph.Graph.RemoveNodes).
+//
+// The delta must have passed Validate against g (or a graph with the same
+// membership for the delta's edges and nodes); on a validated delta every
+// mutation takes effect.
+func (d Delta) ApplyToGraph(g *graph.Graph) []graph.NodeID {
+	return d.apply(g, false, true)
+}
+
+// ApplyToOriginal is ApplyToGraph for an original-style graph (target links
+// present as edges): additionally, dropped targets leave the graph and
+// added targets join it, before the node removals. Both appliers produce
+// the same remap for the same delta.
+func (d Delta) ApplyToOriginal(g *graph.Graph) []graph.NodeID {
+	return d.apply(g, true, true)
+}
+
+// ApplyToSession applies the delta to a session's pair of graphs — the
+// original-style graph and its cached phase-1 companion (pass nil when the
+// session has not derived one) — and returns the shared node remap. The
+// two graphs always have the same node universe, so the remap is computed
+// once instead of once per graph (it is O(nodes), the only
+// graph-proportional cost on the apply path).
+func (d Delta) ApplyToSession(original, phase1 *graph.Graph) []graph.NodeID {
+	remap := d.apply(original, true, true)
+	if phase1 != nil {
+		d.apply(phase1, false, false)
+	}
+	return remap
+}
+
+func (d Delta) apply(g *graph.Graph, targetEdges, wantRemap bool) []graph.NodeID {
+	for i := 0; i < d.AddNodes; i++ {
+		g.AddNode()
+	}
 	for _, e := range d.Remove {
 		g.RemoveEdgeE(e)
 	}
 	for _, e := range d.Insert {
 		g.AddEdgeE(e)
 	}
+	if targetEdges {
+		for _, t := range d.DropTargets {
+			g.RemoveEdgeE(t)
+		}
+		for _, t := range d.AddTargets {
+			g.AddEdgeE(t)
+		}
+	}
+	if wantRemap {
+		return g.RemoveNodes(d.RemoveNodes)
+	}
+	// Same removals, same descending order, no remap materialisation.
+	for i := len(d.RemoveNodes) - 1; i >= 0; i-- {
+		g.RemoveNode(d.RemoveNodes[i])
+	}
+	return nil
+}
+
+// ApplyTargets returns the post-delta target list for a validated delta:
+// dropped targets removed (survivors keep their relative order — it
+// encodes protection priority), surviving targets renamed through remap,
+// and added targets appended in canonical order, renamed too. When the
+// delta leaves the list untouched the input slice is returned as is;
+// otherwise the result is freshly allocated.
+func (d Delta) ApplyTargets(targets []graph.Edge, remap []graph.NodeID) []graph.Edge {
+	if len(d.AddTargets) == 0 && len(d.DropTargets) == 0 && remap == nil {
+		return targets
+	}
+	rename := func(e graph.Edge) graph.Edge {
+		if remap == nil {
+			return e
+		}
+		return graph.NewEdge(remap[e.U], remap[e.V])
+	}
+	dropped := func(e graph.Edge) bool { // DropTargets is canonical: sorted
+		for _, t := range d.DropTargets {
+			if t == e {
+				return true
+			}
+			if e.Less(t) {
+				return false
+			}
+		}
+		return false
+	}
+	out := make([]graph.Edge, 0, len(targets)-len(d.DropTargets)+len(d.AddTargets))
+	for _, t := range targets {
+		c := t
+		if !c.Canonical() {
+			c = graph.Edge{U: c.V, V: c.U}
+		}
+		if dropped(c) {
+			continue
+		}
+		out = append(out, rename(c))
+	}
+	for _, t := range d.AddTargets {
+		out = append(out, rename(t))
+	}
+	return out
 }
 
 // Apply is the package's one-call path for index-bearing callers: it
 // canonicalizes and validates d against the phase-1 graph g and the index's
-// targets, mutates g, and incrementally maintains ix via ApplyDelta. On a
-// validation error, g and ix are untouched.
+// targets, mutates g, and incrementally maintains ix via ApplyMutation —
+// including target-list edits and the node renaming produced by removals.
+// On a validation error, g and ix are untouched.
 func Apply(g *graph.Graph, ix *motif.Index, d Delta) (motif.ApplyStats, error) {
 	d, err := d.Canonicalize()
 	if err != nil {
@@ -162,6 +479,12 @@ func Apply(g *graph.Graph, ix *motif.Index, d Delta) (motif.ApplyStats, error) {
 	if err := d.Validate(g, ix.Targets()); err != nil {
 		return motif.ApplyStats{}, err
 	}
-	d.ApplyToGraph(g)
-	return ix.ApplyDelta(g, d.Insert, d.Remove)
+	remap := d.ApplyToGraph(g)
+	return ix.ApplyMutation(g, motif.Mutation{
+		Inserted:    d.Insert,
+		Removed:     d.Remove,
+		AddTargets:  d.AddTargets,
+		DropTargets: d.DropTargets,
+		Remap:       remap,
+	})
 }

@@ -203,30 +203,116 @@ func TestApplyParityMidSelection(t *testing.T) {
 	checkIndexParity(t, ix, fresh)
 }
 
-// FuzzApplyParity drives the parity property from raw bytes: each byte
-// pair encodes one mutation attempt on a small scale-free graph, and after
-// every batch the incremental index must equal a fresh rebuild.
+// TestApplyParityMutationStreams extends the central property to the full
+// session-mutation surface: random batches of edge churn, node arrivals and
+// departures, and target add/drop (gen.NewMutationChurn) — after every
+// Apply the incrementally maintained index must be indistinguishable from a
+// from-scratch NewIndex on the mutated graph and mutated target list,
+// across every pattern and across enumeration worker counts. It also pins
+// the churn generator's private mirror in lockstep with dynamic's own
+// application (targets, node count, edge count).
+func TestApplyParityMutationStreams(t *testing.T) {
+	for _, pattern := range motif.AllPatterns {
+		for _, workers := range []int{1, 3} {
+			pattern, workers := pattern, workers
+			t.Run(fmt.Sprintf("%s/workers=%d", pattern, workers), func(t *testing.T) {
+				t.Parallel()
+				rng := rand.New(rand.NewSource(97*int64(pattern) + int64(workers)))
+				n := 140
+				if pattern == motif.Pentagon {
+					n = 80 // pentagon enumeration is the heaviest kernel
+				}
+				g := gen.BarabasiAlbertTriad(n, 3, 0.4, rng)
+				targets := datasets.SampleTargets(g, 8, rng)
+				churn := gen.NewMutationChurn(g, targets, gen.DefaultChurnRates(), rng)
+
+				phase1 := g.Clone()
+				phase1.RemoveEdges(targets)
+				ix, err := motif.NewIndexWorkers(phase1, pattern, targets, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for step := 0; step < 20; step++ {
+					d := Delta(churn.Next(1 + rng.Intn(8)))
+					if _, err := Apply(phase1, ix, d); err != nil {
+						t.Fatalf("step %d: apply %+v: %v", step, d, err)
+					}
+					curTargets := ix.Targets()
+					// Lockstep: the generator applied the same batch to its
+					// own mirror; any divergence would invalidate later
+					// batches, so catch it at the step that caused it.
+					churnTargets := churn.Targets()
+					if len(curTargets) != len(churnTargets) {
+						t.Fatalf("step %d: index has %d targets, churn mirror %d", step, len(curTargets), len(churnTargets))
+					}
+					for i := range curTargets {
+						if curTargets[i] != churnTargets[i] {
+							t.Fatalf("step %d: target %d = %v, churn mirror has %v", step, i, curTargets[i], churnTargets[i])
+						}
+					}
+					if phase1.NumNodes() != churn.Graph().NumNodes() {
+						t.Fatalf("step %d: phase1 has %d nodes, churn mirror %d", step, phase1.NumNodes(), churn.Graph().NumNodes())
+					}
+					if phase1.NumEdges() != churn.Graph().NumEdges()-len(churnTargets) {
+						t.Fatalf("step %d: phase1 has %d edges, churn mirror implies %d",
+							step, phase1.NumEdges(), churn.Graph().NumEdges()-len(churnTargets))
+					}
+					fresh, err := motif.NewIndexWorkers(phase1, pattern, curTargets, workers)
+					if err != nil {
+						t.Fatalf("step %d: fresh: %v", step, err)
+					}
+					checkIndexParity(t, ix, fresh)
+				}
+			})
+		}
+	}
+}
+
+// FuzzApplyParity drives the parity property from raw bytes: the first
+// byte picks the pattern and worker count, then each byte pair encodes one
+// mutation attempt — edge churn, batch boundaries, node arrivals and
+// departures, target add/drop, and mid-selection protector burns — on a
+// small scale-free graph. After every batch the incremental index must
+// equal a fresh rebuild on the current graph and current target list.
 func FuzzApplyParity(f *testing.F) {
 	f.Add([]byte{0x01, 0x23, 0x45, 0x67, 0x89, 0xab})
 	f.Add([]byte{0xff, 0x00, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60})
+	f.Add([]byte{0x02, 0x11, 0x11, 0x33, 0x33, 0x05, 0x05, 0x22, 0x44})
 	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		patterns := []motif.Pattern{motif.Triangle, motif.Rectangle, motif.RecTri}
+		pattern := patterns[int(data[0])%len(patterns)]
+		workers := 1 + int(data[0]/16)%3
 		rng := rand.New(rand.NewSource(3))
 		g := gen.BarabasiAlbertTriad(48, 3, 0.5, rng)
 		targets := datasets.SampleTargets(g, 4, rng)
 		phase1 := g.Clone()
 		phase1.RemoveEdges(targets)
-		tset := make(map[graph.Edge]struct{}, len(targets))
-		for _, e := range targets {
-			tset[e] = struct{}{}
-		}
 
-		ix, err := motif.NewIndex(phase1, motif.Rectangle, targets)
+		ix, err := motif.NewIndexWorkers(phase1, pattern, targets, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
-		n := graph.NodeID(phase1.NumNodes())
 		var d Delta
 		seen := make(map[graph.Edge]struct{})
+		isTarget := func(e graph.Edge) bool {
+			for _, tt := range ix.Targets() {
+				if tt == e {
+					return true
+				}
+			}
+			return false
+		}
+		targetEndpoint := func(x graph.NodeID) bool {
+			for _, tt := range ix.Targets() {
+				if tt.Has(x) {
+					return true
+				}
+			}
+			return false
+		}
 		flush := func() {
 			// A new batch may touch any edge again (including reverting a
 			// mutation from the previous batch), so the per-batch dedup
@@ -238,21 +324,71 @@ func FuzzApplyParity(f *testing.F) {
 			if _, err := Apply(phase1, ix, d); err != nil {
 				t.Fatalf("apply %+v: %v", d, err)
 			}
-			fresh, err := motif.NewIndex(phase1, motif.Rectangle, targets)
+			fresh, err := motif.NewIndexWorkers(phase1, pattern, ix.Targets(), workers)
 			if err != nil {
 				t.Fatal(err)
 			}
 			checkIndexParity(t, ix, fresh)
 			d = Delta{}
 		}
-		for i := 0; i+1 < len(data); i += 2 {
+		for i := 1; i+1 < len(data); i += 2 {
+			n := graph.NodeID(phase1.NumNodes())
 			u, v := graph.NodeID(data[i])%n, graph.NodeID(data[i+1])%n
 			if u == v {
-				flush() // reuse degenerate pairs as batch boundaries
+				// Degenerate pairs encode the non-edge operations.
+				switch data[i+1] % 6 {
+				case 0, 1:
+					flush() // batch boundary
+				case 2:
+					d.AddNodes++
+				case 3:
+					// Node departure: flush, then retire u with all its
+					// edges in one dedicated batch.
+					flush()
+					if targetEndpoint(u) {
+						continue
+					}
+					dep := Delta{RemoveNodes: []graph.NodeID{u}}
+					for _, w := range phase1.Neighbors(u) {
+						dep.Remove = append(dep.Remove, graph.NewEdge(u, w))
+					}
+					d = dep
+					flush()
+				case 4:
+					// Target churn: drop the target indexed by u when more
+					// than one remains, else add the first admissible pair
+					// scanning from u.
+					cur := ix.Targets()
+					if len(cur)+len(d.AddTargets)-len(d.DropTargets) > 1 && len(d.DropTargets) == 0 {
+						d.DropTargets = append(d.DropTargets, cur[int(u)%len(cur)])
+						break
+					}
+					for off := graph.NodeID(1); off < 20 && off < n; off++ {
+						w := (u + off) % n
+						if w == u {
+							continue
+						}
+						e := graph.NewEdge(u, w)
+						if _, ok := seen[e]; ok {
+							continue
+						}
+						if isTarget(e) || phase1.HasEdgeE(e) {
+							continue
+						}
+						seen[e] = struct{}{}
+						d.AddTargets = append(d.AddTargets, e)
+						break
+					}
+				case 5:
+					// Mid-selection burn: the next Apply must discard these.
+					if e, _, ok := ix.ArgmaxGain(); ok {
+						ix.DeleteEdge(e)
+					}
+				}
 				continue
 			}
 			e := graph.NewEdge(u, v)
-			if _, ok := tset[e]; ok {
+			if isTarget(e) {
 				continue
 			}
 			if _, ok := seen[e]; ok {

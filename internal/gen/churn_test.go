@@ -2,8 +2,10 @@ package gen
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
+	"repro/internal/dynamic"
 	"repro/internal/graph"
 )
 
@@ -82,6 +84,80 @@ func TestChurnDeterministicPerSeed(t *testing.T) {
 	for i := range r1 {
 		if r1[i] != r2[i] {
 			t.Fatalf("removal %d differs: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+}
+
+// TestMutationChurnBatchesAreValidDeltas pins the generator's core
+// contract: every emitted batch, converted to a dynamic.Delta, must
+// canonicalize and validate against an externally maintained mirror of the
+// stream's state — and applying it to that mirror must land exactly where
+// the generator's private state landed (graph size and target list), so
+// consecutive batches stay valid too.
+func TestMutationChurnBatchesAreValidDeltas(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seed := BarabasiAlbertTriad(120, 3, 0.4, rng)
+	targets := seed.Edges()[:6]
+	mirror := seed.Clone()
+	mirrorTargets := append([]graph.Edge(nil), targets...)
+
+	c := NewMutationChurn(seed, targets, DefaultChurnRates(), rng)
+	edgesBefore := seed.NumEdges()
+	var sawNodes, sawTargets int
+	for batch := 0; batch < 40; batch++ {
+		m := c.Next(1 + rng.Intn(8))
+		d, err := dynamic.Delta(m).Canonicalize()
+		if err != nil {
+			t.Fatalf("batch %d: canonicalize %+v: %v", batch, m, err)
+		}
+		if err := d.Validate(mirror, mirrorTargets); err != nil {
+			t.Fatalf("batch %d: validate: %v", batch, err)
+		}
+		remap := d.ApplyToOriginal(mirror)
+		mirrorTargets = d.ApplyTargets(mirrorTargets, remap)
+		sawNodes += d.AddNodes + len(d.RemoveNodes)
+		sawTargets += len(d.AddTargets) + len(d.DropTargets)
+
+		if mirror.NumNodes() != c.Graph().NumNodes() || mirror.NumEdges() != c.Graph().NumEdges() {
+			t.Fatalf("batch %d: mirror %v, churn graph %v", batch, mirror, c.Graph())
+		}
+		ct := c.Targets()
+		if len(ct) != len(mirrorTargets) {
+			t.Fatalf("batch %d: churn has %d targets, mirror %d", batch, len(ct), len(mirrorTargets))
+		}
+		for i := range ct {
+			if ct[i] != mirrorTargets[i] {
+				t.Fatalf("batch %d: target %d = %v, mirror has %v", batch, i, ct[i], mirrorTargets[i])
+			}
+		}
+		if len(ct) == 0 {
+			t.Fatalf("batch %d: target list emptied", batch)
+		}
+	}
+	if sawNodes == 0 || sawTargets == 0 {
+		t.Fatalf("stream produced %d node and %d target mutations; want both > 0 (tune seed)", sawNodes, sawTargets)
+	}
+	if seed.NumEdges() != edgesBefore {
+		t.Fatalf("seed graph mutated: %d edges, want %d", seed.NumEdges(), edgesBefore)
+	}
+}
+
+func TestMutationChurnDeterministicPerSeed(t *testing.T) {
+	build := func() []Mutation {
+		rng := rand.New(rand.NewSource(29))
+		g := BarabasiAlbertTriad(90, 3, 0.3, rng)
+		targets := g.Edges()[:4]
+		c := NewMutationChurn(g, targets, DefaultChurnRates(), rng)
+		out := make([]Mutation, 12)
+		for i := range out {
+			out[i] = c.Next(6)
+		}
+		return out
+	}
+	b1, b2 := build(), build()
+	for i := range b1 {
+		if !reflect.DeepEqual(b1[i], b2[i]) {
+			t.Fatalf("batch %d differs across identical seeds:\n%+v\nvs\n%+v", i, b1[i], b2[i])
 		}
 	}
 }

@@ -23,6 +23,10 @@ import (
 // IDs 0..n-1.
 type NodeID = int32
 
+// NoNode is the sentinel for "no node": RemoveNode-style compactions use it
+// in their remaps to mark IDs that left the graph.
+const NoNode NodeID = -1
+
 // Edge is an undirected edge with canonical ordering U < V.
 type Edge struct {
 	U, V NodeID
@@ -119,6 +123,106 @@ func (g *Graph) NumEdges() int { return g.edges }
 func (g *Graph) AddNode() NodeID {
 	g.adj = append(g.adj, nil)
 	return NodeID(len(g.adj) - 1)
+}
+
+// RemoveNode deletes node n together with its incident edges and shrinks
+// NumNodes by one. To keep the ID space dense, the node with the highest ID
+// is renumbered to n (swap-with-last compaction); RemoveNode returns the
+// previous ID of the node now occupying n, which is n itself exactly when n
+// already was the highest ID and nothing moved. Every other node keeps its
+// ID, so callers holding node or edge references only have to rename that
+// one node.
+//
+// ID-stability contract for view holders: RemoveNode invalidates every
+// outstanding NeighborsView (rows move, shrink and are rewritten in place,
+// like any mutation), and it is the one mutation that renames edges —
+// edges incident to the moved node now spell its new ID n, re-sorted into
+// the rows, so Edges/EachEdge keep yielding canonical lexicographic order
+// over the new ID space. RemoveNodes applies a batch and hands back the
+// whole renaming as a remap.
+func (g *Graph) RemoveNode(n NodeID) NodeID {
+	g.valid(n)
+	// Strip n's incident edges.
+	for _, w := range g.adj[n] {
+		i, _ := slices.BinarySearch(g.adj[w], n)
+		g.adj[w] = slices.Delete(g.adj[w], i, i+1)
+	}
+	g.edges -= len(g.adj[n])
+	g.adj[n] = nil
+	last := NodeID(len(g.adj) - 1)
+	if n != last {
+		// Renumber last → n: adopt its row and rewrite its mentions. The
+		// row cannot contain n (n's edges are gone), so it stays valid.
+		g.adj[n] = g.adj[last]
+		for _, w := range g.adj[n] {
+			i, _ := slices.BinarySearch(g.adj[w], last)
+			g.adj[w] = slices.Delete(g.adj[w], i, i+1)
+			j, _ := slices.BinarySearch(g.adj[w], n)
+			g.adj[w] = slices.Insert(g.adj[w], j, n)
+		}
+	}
+	g.adj = g.adj[:last]
+	return last
+}
+
+// RemoveNodes deletes every node in nodes (which must be sorted ascending,
+// duplicate-free and in range) with their incident edges, and returns the
+// composite renaming as a remap indexed by pre-removal ID: remap[old] is
+// the node's new ID, or NoNode for the removed nodes. A nil remap means
+// nodes was empty and nothing changed.
+//
+// Removals are processed in descending ID order, so each RemoveNode's
+// swap-with-last renumbering can never touch a node still pending removal —
+// the IDs in nodes stay valid throughout the batch.
+func (g *Graph) RemoveNodes(nodes []NodeID) []NodeID {
+	if len(nodes) == 0 {
+		return nil
+	}
+	n := len(g.adj)
+	for i, x := range nodes {
+		g.valid(x)
+		if i > 0 && nodes[i-1] >= x {
+			panic(fmt.Sprintf("graph: RemoveNodes list not sorted/unique at %d: %d >= %d", i, nodes[i-1], x))
+		}
+	}
+	// Track only the touched slots sparsely: each removal moves at most one
+	// node (the then-last) down into the freed slot, so at most len(nodes)
+	// moves happen in total — the dense remap needs one identity fill plus
+	// len(nodes) corrections, never an O(n) slot simulation.
+	type move struct{ slot, orig NodeID }
+	moved := make([]move, 0, len(nodes))
+	// lookup answers "which pre-removal node occupies this slot right now":
+	// a previous move's target, or the identity.
+	lookup := func(slot NodeID) NodeID {
+		for i := len(moved) - 1; i >= 0; i-- {
+			if moved[i].slot == slot {
+				return moved[i].orig
+			}
+		}
+		return slot
+	}
+	size := NodeID(n)
+	for i := len(nodes) - 1; i >= 0; i-- {
+		x := nodes[i] // still at slot x: lower slots never move (see above)
+		g.RemoveNode(x)
+		size--
+		if x != size {
+			moved = append(moved, move{slot: x, orig: lookup(size)})
+		}
+	}
+	remap := make([]NodeID, n)
+	for i := range remap {
+		remap[i] = NodeID(i)
+	}
+	// Later moves supersede earlier ones for the same node, so apply them
+	// in order; removals last (a removed node is never a move's origin).
+	for _, m := range moved {
+		remap[m.orig] = m.slot
+	}
+	for _, x := range nodes {
+		remap[x] = NoNode
+	}
+	return remap
 }
 
 // valid panics unless n is a node of g.

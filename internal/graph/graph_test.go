@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"reflect"
+	"slices"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -430,4 +431,122 @@ func TestPropertyBFSEdgeConsistency(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestRemoveNodeSwapWithLast(t *testing.T) {
+	// 0-1, 1-2, 2-3, 3-4, 4-0 cycle plus chord 1-4.
+	g := New(5)
+	for _, e := range []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}, {1, 4}} {
+		g.AddEdgeE(e)
+	}
+	// Removing 2 renumbers 4 → 2 and strips 1-2, 2-3.
+	if moved := g.RemoveNode(2); moved != 4 {
+		t.Fatalf("RemoveNode(2) moved %d, want 4", moved)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("after removal: %v, want 4 nodes / 4 edges", g)
+	}
+	// Old 4's edges (3-4, 0-4, 1-4) must now spell 2.
+	for _, e := range []Edge{{2, 3}, {0, 2}, {1, 2}} {
+		if !g.HasEdgeE(e) {
+			t.Fatalf("edge %v missing after renumbering", e)
+		}
+	}
+	if g.HasEdge(0, 1) != true || g.HasEdge(1, 3) != false {
+		t.Fatal("unrelated adjacency changed")
+	}
+	// Rows must still be sorted (EachEdge canonical order relies on it).
+	prev := Edge{-1, -1}
+	g.EachEdge(func(e Edge) bool {
+		if !prev.Less(e) {
+			t.Fatalf("EachEdge order violated: %v after %v", e, prev)
+		}
+		prev = e
+		return true
+	})
+}
+
+func TestRemoveNodeLastIsNoMove(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	if moved := g.RemoveNode(2); moved != 2 {
+		t.Fatalf("RemoveNode(last) moved %d, want 2 (no renumbering)", moved)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 0 {
+		t.Fatalf("after removal: %v, want 2 isolated nodes", g)
+	}
+}
+
+func TestRemoveNodesRemap(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 6 + rng.Intn(12)
+		g := New(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		before := g.Clone()
+		k := 1 + rng.Intn(n/2)
+		perm := rng.Perm(n)
+		nodes := make([]NodeID, 0, k)
+		for _, x := range perm[:k] {
+			nodes = append(nodes, NodeID(x))
+		}
+		slices.Sort(nodes)
+		remap := g.RemoveNodes(nodes)
+		if len(remap) != n || g.NumNodes() != n-k {
+			t.Fatalf("trial %d: remap len %d, nodes %d; want %d, %d", trial, len(remap), g.NumNodes(), n, n-k)
+		}
+		// Removed nodes map to NoNode; survivors map to a bijection on
+		// [0, n-k) and keep exactly their surviving edges under the rename.
+		rmset := make(map[NodeID]bool, k)
+		for _, x := range nodes {
+			rmset[x] = true
+		}
+		seen := make(map[NodeID]bool, n-k)
+		for old := NodeID(0); int(old) < n; old++ {
+			nw := remap[old]
+			if rmset[old] {
+				if nw != NoNode {
+					t.Fatalf("trial %d: removed node %d remapped to %d", trial, old, nw)
+				}
+				continue
+			}
+			if nw < 0 || int(nw) >= n-k || seen[nw] {
+				t.Fatalf("trial %d: survivor %d remapped to %d (dup=%v)", trial, old, nw, seen[nw])
+			}
+			seen[nw] = true
+		}
+		wantEdges := 0
+		before.EachEdge(func(e Edge) bool {
+			if rmset[e.U] || rmset[e.V] {
+				return true
+			}
+			wantEdges++
+			if !g.HasEdge(remap[e.U], remap[e.V]) {
+				t.Fatalf("trial %d: surviving edge %v missing as %d-%d", trial, e, remap[e.U], remap[e.V])
+			}
+			return true
+		})
+		if g.NumEdges() != wantEdges {
+			t.Fatalf("trial %d: %d edges, want %d", trial, g.NumEdges(), wantEdges)
+		}
+	}
+}
+
+func TestRemoveNodesEmptyAndUnsortedPanics(t *testing.T) {
+	g := New(4)
+	if remap := g.RemoveNodes(nil); remap != nil {
+		t.Fatalf("RemoveNodes(nil) = %v, want nil", remap)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted RemoveNodes list did not panic")
+		}
+	}()
+	g.RemoveNodes([]NodeID{2, 1})
 }

@@ -39,6 +39,27 @@ func (m *modelGraph) addEdge(u, v NodeID) bool {
 	return true
 }
 
+// removeNode mirrors Graph.RemoveNode's swap-with-last contract on the map
+// reference: strip n's edges, renumber the last node to n, return the old
+// ID of the node now at n.
+func (m *modelGraph) removeNode(n NodeID) NodeID {
+	for w := range m.adj[n] {
+		delete(m.adj[w], n)
+	}
+	m.edges -= len(m.adj[n])
+	m.adj[n] = nil
+	last := NodeID(len(m.adj) - 1)
+	if n != last {
+		m.adj[n] = m.adj[last]
+		for w := range m.adj[n] {
+			delete(m.adj[w], last)
+			m.adj[w][n] = struct{}{}
+		}
+	}
+	m.adj = m.adj[:last]
+	return last
+}
+
 func (m *modelGraph) removeEdge(u, v NodeID) bool {
 	if _, ok := m.adj[u][v]; !ok {
 		return false
@@ -108,6 +129,12 @@ func applyModelOp(t *testing.T, g *Graph, m *modelGraph, a, b byte) bool {
 			t.Fatalf("AddNode = %d, model got %d", got, want)
 		}
 		return true
+	case a%8 == 6 && b%4 == 0 && n > 4: // shrink, rarely, keeping ≥4 nodes
+		x := NodeID(b) % n
+		if got, want := g.RemoveNode(x), m.removeNode(x); got != want {
+			t.Fatalf("RemoveNode(%d) = %d, model got %d", x, got, want)
+		}
+		return true
 	default:
 		u, v := NodeID(a)%n, NodeID(b)%n
 		if u == v {
@@ -127,9 +154,10 @@ func applyModelOp(t *testing.T, g *Graph, m *modelGraph, a, b byte) bool {
 }
 
 // FuzzGraphModel drives the sorted-slice core against the map-based
-// reference under arbitrary AddEdge/RemoveEdge/AddNode sequences: degrees,
-// HasEdge answers, sorted neighbor sets and edge counts must agree at
-// every checkpoint and at the end of the sequence.
+// reference under arbitrary AddEdge/RemoveEdge/AddNode/RemoveNode
+// sequences: degrees, HasEdge answers, sorted neighbor sets, edge counts
+// and the swap-with-last renumbering must agree at every checkpoint and at
+// the end of the sequence.
 func FuzzGraphModel(f *testing.F) {
 	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x07, 0x00, 0x05, 0x06})
 	f.Add([]byte{0xff, 0xfe, 0x00, 0x03, 0x30, 0x21, 0x12, 0x03})

@@ -3,24 +3,44 @@ package motif
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"time"
 
 	"repro/internal/graph"
 )
 
-// ApplyStats describes one incremental delta application (ApplyDelta), for
-// observability: how much of the index the delta actually touched, versus
-// the full re-enumeration it avoided.
+// targetIndex returns the position of t in the index's target list,
+// comparing canonically, or -1.
+func (ix *Index) targetIndex(t graph.Edge) int {
+	t = canonEdge(t)
+	for i, cur := range ix.targets {
+		if canonEdge(cur) == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// ApplyStats describes one incremental mutation application (ApplyMutation
+// / ApplyDelta), for observability: how much of the index the mutation
+// actually touched, versus the full re-enumeration it avoided.
 type ApplyStats struct {
 	// Inserted and Removed count the delta edges applied.
 	Inserted, Removed int
-	// TouchedTargets counts the targets re-enumerated because an inserted
-	// edge could complete one of their instances. Every other target kept
-	// its instance list verbatim (minus removal kills).
+	// TargetsAdded and TargetsDropped count the target-list edits applied.
+	TargetsAdded, TargetsDropped int
+	// TouchedTargets counts the surviving targets re-enumerated because an
+	// inserted edge could complete one of their instances. Every other
+	// surviving target kept its instance list verbatim (minus removal
+	// kills); added targets are enumerated once and counted separately by
+	// TargetsAdded.
 	TouchedTargets int
-	// KilledInstances counts instances of untouched targets destroyed by
-	// edge removals, found via the CSR edge→instance table.
+	// KilledInstances counts instances of untouched surviving targets
+	// destroyed by edge removals, found via the CSR edge→instance table.
 	KilledInstances int
+	// DroppedInstances counts instances discarded wholesale because their
+	// target was dropped.
+	DroppedInstances int
 	// Instances is the live instance count after the apply, i.e. the new
 	// s(∅, T).
 	Instances int
@@ -28,74 +48,170 @@ type ApplyStats struct {
 	Elapsed time.Duration
 }
 
-// ApplyDelta incrementally rewires the index for a batch of edge mutations.
-// The subgraph enumeration — the dominant cost of a fresh build — shrinks
-// to the delta's reach: only insert-touched targets re-enumerate, and a
-// delta with no insertions enumerates nothing at all (see applyRemovals).
-// The flat arrays (interner, CSR table, gains, heap) are then rewired
-// wholesale in O(universe + instances), the same cheap cost class as
-// Reset. g must be the phase-1 graph with the delta already applied
-// (removed edges gone, inserted edges present, targets still absent).
+// Mutation is the index-level view of one applied session delta. All edges
+// are named in PRE-remap node IDs — the IDs the index's current state and
+// the delta itself use; Remap describes how the graph's node universe was
+// renamed underneath (dynamic.Delta.ApplyToGraph returns exactly this).
+type Mutation struct {
+	// Inserted and Removed are the delta's ordinary-edge mutations. The
+	// graph passed to ApplyMutation must already reflect them.
+	Inserted, Removed []graph.Edge
+	// AddTargets are appended to the target list in the given order;
+	// DropTargets name current targets to retire. Neither list's links may
+	// be present in the (phase-1) graph.
+	AddTargets, DropTargets []graph.Edge
+	// Remap renames the node universe: remap[old] = new ID, graph.NoNode
+	// for removed nodes; nil means the universe is unchanged (node
+	// additions alone never rename — fresh IDs append past the old range).
+	Remap []graph.NodeID
+}
+
+// rename returns e spelled in post-remap node IDs (re-canonicalized: a
+// renaming can flip the endpoint order). Only edges whose endpoints survive
+// may be renamed.
+func (m *Mutation) rename(e graph.Edge) graph.Edge {
+	if m.Remap == nil {
+		return e
+	}
+	return graph.NewEdge(m.Remap[e.U], m.Remap[e.V])
+}
+
+// ApplyDelta incrementally rewires the index for a batch of edge-only
+// mutations: ApplyMutation with a fixed target list and an unchanged node
+// universe. See ApplyMutation for the full contract.
+func (ix *Index) ApplyDelta(g *graph.Graph, inserted, removed []graph.Edge) (ApplyStats, error) {
+	return ix.ApplyMutation(g, Mutation{Inserted: inserted, Removed: removed})
+}
+
+// ApplyMutation incrementally rewires the index for one applied session
+// mutation: edge insertions and removals, target-list edits, and a node
+// renaming (see Mutation). The subgraph enumeration — the dominant cost of
+// a fresh build — shrinks to the mutation's reach: only insert-touched
+// surviving targets and added targets enumerate, and a mutation with
+// neither enumerates nothing at all. The flat arrays (interner, CSR table,
+// gains, heap) are then rewired wholesale in O(universe + instances), the
+// same cheap cost class as Reset. g must be the phase-1 graph with the
+// mutation already applied (removed edges and nodes gone, inserted edges
+// present, nodes renamed, no target link — old, surviving or added —
+// present).
 //
 // Removals can only destroy instances; the CSR edge→instance table names
 // exactly the instances each removed edge participated in, so they are
-// killed without touching the graph. Insertions can only create instances,
-// and a new instance must use at least one inserted edge, so only targets
-// for which some inserted edge can sit inside an instance (a local, O(1)
-// adjacency test per target × inserted edge — see insertTouches) are
-// re-enumerated with the same kernels NewIndex uses; all other targets
-// provably keep their instance sets. The flat state is then rebuilt from
-// the stitched per-target buffers by the same builder NewIndex uses, so the
-// resulting index — similarities, gains, candidate universe, heap order and
-// therefore every selection made from it — is bit-identical to a fresh
-// NewIndex on the mutated graph.
+// killed without touching the graph. A dropped target's instances are
+// discarded wholesale with it. Insertions can only create instances, and a
+// new instance must use at least one inserted edge, so only surviving
+// targets for which some inserted edge can sit inside an instance (a
+// local, O(1) adjacency test per target × inserted edge — see
+// insertTouches) are re-enumerated with the same kernels NewIndex uses; an
+// added target is enumerated exactly once; all other targets provably keep
+// their instance sets. A node renaming re-spells the surviving instances'
+// edges (their endpoints necessarily survive) without enumerating
+// anything. The flat state is then rebuilt from the stitched per-target
+// buffers by the same builder NewIndex uses, so the resulting index —
+// similarities, gains, candidate universe, heap order and therefore every
+// selection made from it — is bit-identical to a fresh NewIndex on the
+// mutated graph and mutated target list.
 //
 // Any protector deletions recorded on the index (DeleteEdgeID since the
 // last Reset) are discarded, exactly as a fresh build would: an applied
-// index starts fully alive.
-func (ix *Index) ApplyDelta(g *graph.Graph, inserted, removed []graph.Edge) (ApplyStats, error) {
+// index starts fully alive. Targets() reflects the new list afterwards:
+// survivors keep their relative order, added targets append in the order
+// given.
+func (ix *Index) ApplyMutation(g *graph.Graph, m Mutation) (ApplyStats, error) {
 	start := time.Now()
-	for _, t := range ix.targets {
+
+	// Resolve the target-list edit first: drop flags on the old list, the
+	// old→new target index map, and the new list in post-remap names.
+	drop := scratchSlice(ix.sc.drop, len(ix.targets))
+	ix.sc.drop = drop
+	clear(drop)
+	for _, t := range m.DropTargets {
+		ti := ix.targetIndex(t)
+		if ti < 0 {
+			return ApplyStats{}, fmt.Errorf("motif: dropped target %v is not a target of this index", t)
+		}
+		if drop[ti] {
+			return ApplyStats{}, fmt.Errorf("motif: target %v dropped twice", t)
+		}
+		drop[ti] = true
+	}
+	newIdx := scratchSlice(ix.sc.newIdx, len(ix.targets))
+	ix.sc.newIdx = newIdx
+	newTargets := make([]graph.Edge, 0, len(ix.targets)-len(m.DropTargets)+len(m.AddTargets))
+	for ti, t := range ix.targets {
+		if drop[ti] {
+			newIdx[ti] = -1
+			continue
+		}
+		newIdx[ti] = len(newTargets)
+		newTargets = append(newTargets, m.rename(t))
+	}
+	addedFrom := len(newTargets)
+	for _, t := range m.AddTargets {
+		newTargets = append(newTargets, m.rename(canonEdge(t)))
+	}
+
+	// Sanity checks mirroring NewIndex's, kept delta-sized so the apply
+	// path never pays per-target costs: an added target must be absent
+	// from g, and no inserted edge may spell a target link (a surviving
+	// target was absent before the mutation, and with target insertions
+	// excluded it provably still is — renaming preserves absence).
+	for _, t := range newTargets[addedFrom:] {
 		if g.HasEdgeE(t) {
-			return ApplyStats{}, fmt.Errorf("motif: target %v present in mutated graph; deltas must not insert target links", t)
+			return ApplyStats{}, fmt.Errorf("motif: target %v present in mutated graph; mutations must not insert target links", t)
 		}
 	}
-	for _, e := range inserted {
-		if !g.HasEdgeE(e) {
+	insertedNew := scratchSlice(ix.sc.insertedNew, len(m.Inserted))
+	ix.sc.insertedNew = insertedNew
+	for i, e := range m.Inserted {
+		insertedNew[i] = m.rename(canonEdge(e))
+		if !g.HasEdgeE(insertedNew[i]) {
 			return ApplyStats{}, fmt.Errorf("motif: inserted edge %v absent from mutated graph; apply the delta to the graph before the index", e)
 		}
+		for _, t := range newTargets {
+			if t == insertedNew[i] {
+				return ApplyStats{}, fmt.Errorf("motif: inserted edge %v is a target link; mutations must not insert target links", e)
+			}
+		}
 	}
-	for _, e := range removed {
-		if g.HasEdgeE(e) {
+	for _, e := range m.Removed {
+		e = canonEdge(e)
+		if m.Remap != nil && (m.Remap[e.U] == graph.NoNode || m.Remap[e.V] == graph.NoNode) {
+			continue // an endpoint left the graph; the edge is certainly gone
+		}
+		if g.HasEdgeE(m.rename(e)) {
 			return ApplyStats{}, fmt.Errorf("motif: removed edge %v still present in mutated graph; apply the delta to the graph before the index", e)
 		}
 	}
 
-	// Pure-removal fast path: with no insertions no target can gain an
-	// instance, so enumeration is skipped entirely — removal-incident
-	// instances are killed through the CSR table and the flat state is
-	// compacted in place, linear in the universe and instance table with no
-	// sorting and no edge interning.
-	if len(inserted) == 0 {
-		killed := ix.applyRemovals(removed)
+	// Pure edge-removal fast path: nothing can gain an instance and nothing
+	// is renamed, so enumeration, sorting and interning are all skipped —
+	// removal-incident instances are killed through the CSR table and the
+	// flat state is compacted in place, linear in the universe and instance
+	// table.
+	if len(m.Inserted) == 0 && len(m.AddTargets) == 0 && len(m.DropTargets) == 0 && m.Remap == nil {
+		killed := ix.applyRemovals(m.Removed)
 		return ApplyStats{
-			Removed:         len(removed),
+			Removed:         len(m.Removed),
 			KilledInstances: killed,
 			Instances:       len(ix.inst),
 			Elapsed:         time.Since(start),
 		}, nil
 	}
 
-	// Adjacency in the union graph (old ∪ new edge sets): g already reflects
-	// the delta, so union adjacency is g plus the removed edges. The touched
+	// Adjacency in the union graph (old ∪ new edge sets), post-remap names:
+	// g already reflects the mutation, so union adjacency is g plus the
+	// removed edges whose endpoints survived (an edge with a removed
+	// endpoint cannot answer a query about surviving nodes). The touched
 	// test runs in the union so it soundly covers instances of both the old
 	// and the new graph.
-	removedSet := make(map[graph.Edge]struct{}, len(removed))
-	for _, e := range removed {
-		if !e.Canonical() {
-			e = graph.Edge{U: e.V, V: e.U}
+	removedSet := make(map[graph.Edge]struct{}, len(m.Removed))
+	for _, e := range m.Removed {
+		e = canonEdge(e)
+		if m.Remap != nil && (m.Remap[e.U] == graph.NoNode || m.Remap[e.V] == graph.NoNode) {
+			continue
 		}
-		removedSet[e] = struct{}{}
+		removedSet[m.rename(e)] = struct{}{}
 	}
 	hasUnion := func(x, y graph.NodeID) bool {
 		if x == y {
@@ -108,76 +224,249 @@ func (ix *Index) ApplyDelta(g *graph.Graph, inserted, removed []graph.Edge) (App
 		return ok
 	}
 
-	touched := make([]bool, len(ix.targets))
+	// enum[nt] marks new-list targets to (re-)enumerate: surviving targets
+	// an inserted edge touches, plus every added target.
+	enum := scratchSlice(ix.sc.enum, len(newTargets))
+	ix.sc.enum = enum
+	clear(enum)
 	nTouched := 0
-	for ti, t := range ix.targets {
-		for _, e := range inserted {
+	for nt, t := range newTargets[:addedFrom] {
+		for _, e := range insertedNew {
 			if insertTouches(ix.pattern, t, e, hasUnion) {
-				touched[ti] = true
+				enum[nt] = true
 				nTouched++
 				break
 			}
 		}
 	}
+	for nt := addedFrom; nt < len(newTargets); nt++ {
+		enum[nt] = true
+	}
 
-	// Kill pass: an instance dies iff it contains a removed edge. The CSR
-	// rows of the removed ids name exactly those instances; removed edges
-	// outside the interned universe participated in none. Instances of
-	// touched targets are skipped — their whole list is replaced below.
-	killed := make([]bool, len(ix.inst))
+	// Kill pass: an instance of a surviving, un-enumerated target dies iff
+	// it contains a removed edge. The CSR rows of the removed ids (old
+	// names — the universe predates the remap) name exactly those
+	// instances; removed edges outside the interned universe participated
+	// in none. Instances of dropped and enumerated targets are skipped —
+	// dropped wholesale, or replaced below.
+	killed := scratchSlice(ix.sc.killed, len(ix.inst))
+	ix.sc.killed = killed
+	clear(killed)
 	nKilled := 0
-	for _, e := range removed {
+	for _, e := range m.Removed {
 		id := ix.in.ID(e)
 		if id == graph.NoEdge {
 			continue
 		}
 		for _, instID := range ix.instIDs[ix.instStart[id]:ix.instStart[id+1]] {
-			if !killed[instID] && !touched[ix.inst[instID].target] {
+			if killed[instID] {
+				continue
+			}
+			if nt := newIdx[ix.inst[instID].target]; nt >= 0 && !enum[nt] {
 				killed[instID] = true
 				nKilled++
 			}
 		}
 	}
-
-	// Stitch the per-target buffers: survivors keep their edges verbatim
-	// (protector-deletion dead flags are ignored — a rebuild revives them,
-	// exactly like a fresh build); touched targets are re-enumerated on the
-	// mutated graph with the same kernels NewIndex uses.
-	byTarget := make([][]rawInstance, len(ix.targets))
+	nDropped := 0
 	for i := range ix.inst {
-		in0 := &ix.inst[i]
-		if touched[in0.target] || killed[i] {
-			continue
+		if newIdx[ix.inst[i].target] < 0 {
+			nDropped++
 		}
-		var r rawInstance
-		r.ne = in0.ne
-		for j, id := range in0.edges[:in0.ne] {
-			r.edges[j] = ix.in.Edge(id)
-		}
-		byTarget[in0.target] = append(byTarget[in0.target], r)
 	}
-	// Touched targets re-enumerate through the same worker-sharded kernel
-	// the full build uses, so a broad delta (hub insertions flagging many
+
+	// Enumerated targets go through the same worker-sharded kernel the full
+	// build uses, so a broad mutation (hub insertions flagging many
 	// targets) is never slower than its share of a parallel rebuild.
-	if nTouched > 0 {
-		touchedIdx := make([]int, 0, nTouched)
-		for ti := range ix.targets {
-			if touched[ti] {
-				touchedIdx = append(touchedIdx, ti)
+	byTarget := scratchSlice(ix.sc.byTarget, len(newTargets))
+	ix.sc.byTarget = byTarget
+	clear(byTarget)
+	if nTouched > 0 || addedFrom < len(newTargets) {
+		enumIdx := make([]int, 0, nTouched+len(newTargets)-addedFrom)
+		for nt := range newTargets {
+			if enum[nt] {
+				enumIdx = append(enumIdx, nt)
 			}
 		}
-		enumerateInto(g, ix.pattern, ix.targets, touchedIdx, runtime.GOMAXPROCS(0), byTarget)
+		enumerateInto(g, ix.pattern, newTargets, enumIdx, runtime.GOMAXPROCS(0), byTarget)
 	}
 
-	ix.build(byTarget)
+	ix.wireIncremental(newTargets, newIdx, enum, killed, &m, byTarget)
 	return ApplyStats{
-		Inserted:        len(inserted),
-		Removed:         len(removed),
-		TouchedTargets:  nTouched,
-		KilledInstances: nKilled,
-		Instances:       len(ix.inst),
-		Elapsed:         time.Since(start),
+		Inserted:         len(m.Inserted),
+		Removed:          len(m.Removed),
+		TargetsAdded:     len(m.AddTargets),
+		TargetsDropped:   len(m.DropTargets),
+		TouchedTargets:   nTouched,
+		KilledInstances:  nKilled,
+		DroppedInstances: nDropped,
+		Instances:        len(ix.inst),
+		Elapsed:          time.Since(start),
 	}, nil
+}
+
+// respelledEdge marks, in wireIncremental's old→new edge-id table, a
+// surviving edge whose spelling changed under the node remap: its new id is
+// resolved by a binary search over the new universe instead.
+const respelledEdge graph.EdgeID = -2
+
+// wireIncremental rewires the index's whole flat state — interned
+// universe, instance table, gains, CSR incidences, heap — around the
+// surviving instances and the freshly enumerated buffers, without the full
+// builder's re-sort of every incidence and per-incidence re-interning.
+//
+// The old universe already ascends in canonical packed order, and PackEdge
+// order is spelling order, so the new universe is a merge of two sorted
+// sequences: the surviving same-spelling old edges (a monotone filter of
+// the old universe), and a small "extras" set — surviving edges re-spelled
+// by the node remap plus every edge of an enumerated instance — that is
+// sorted on its own. Surviving instances then renumber their edge ids
+// through an old→new table (O(1) each); only re-spelled and enumerated
+// edges pay a binary search. The result is keyed identically to a full
+// build on the same instance multiset — same universe, same gains, same
+// heap order — which the parity suites pin against fresh NewIndex builds.
+//
+// Like every apply, recorded protector deletions are discarded: the rebuilt
+// state starts fully alive.
+func (ix *Index) wireIncremental(newTargets []graph.Edge, newIdx []int, enum, killed []bool, m *Mutation, byTarget [][]rawInstance) {
+	oldIn := ix.in
+	oldNE := oldIn.NumEdges()
+
+	// Surviving incidence counts over the old universe (old ids). An edge
+	// left with no surviving incidence drops out, exactly as a fresh build
+	// would never intern it.
+	oldGain := scratchSlice(ix.sc.oldGain, oldNE)
+	ix.sc.oldGain = oldGain
+	clear(oldGain)
+	survives := func(i int) bool {
+		nt := newIdx[ix.inst[i].target]
+		return nt >= 0 && !enum[nt] && !killed[i]
+	}
+	for i := range ix.inst {
+		if !survives(i) {
+			continue
+		}
+		in0 := &ix.inst[i]
+		for _, id := range in0.edges[:in0.ne] {
+			oldGain[id]++
+		}
+	}
+
+	// Classify the old universe: kept-in-place (same spelling) edges stream
+	// out still sorted; re-spelled survivors join the extras.
+	remapID := scratchSlice(ix.sc.remapID, oldNE)
+	ix.sc.remapID = remapID
+	kept := ix.sc.kept[:0]
+	extras := ix.sc.extras[:0]
+	for id := 0; id < oldNE; id++ {
+		if oldGain[id] == 0 {
+			remapID[id] = graph.NoEdge
+			continue
+		}
+		e := oldIn.Edge(graph.EdgeID(id))
+		if m.Remap != nil && (m.Remap[e.U] != e.U || m.Remap[e.V] != e.V) {
+			remapID[id] = respelledEdge
+			extras = append(extras, graph.PackEdge(m.rename(e)))
+			continue
+		}
+		remapID[id] = graph.EdgeID(len(kept)) // provisional: index into kept
+		kept = append(kept, graph.PackEdge(e))
+	}
+	for nt := range byTarget {
+		for _, r := range byTarget[nt] {
+			for _, e := range r.edges[:r.ne] {
+				extras = append(extras, graph.PackEdge(e))
+			}
+		}
+	}
+	slices.Sort(extras)
+	extras = slices.Compact(extras)
+
+	ix.sc.kept, ix.sc.extras = kept, extras
+
+	// Merge kept and extras into the new universe (freshly allocated — the
+	// interner retains it), recording where each kept edge landed so
+	// remapID can be finalised.
+	packed := make([]uint64, 0, len(kept)+len(extras))
+	fin := scratchSlice(ix.sc.fin, len(kept))
+	ix.sc.fin = fin
+	i, j := 0, 0
+	for i < len(kept) || j < len(extras) {
+		switch {
+		case j >= len(extras) || (i < len(kept) && kept[i] <= extras[j]):
+			if j < len(extras) && kept[i] == extras[j] {
+				j++
+			}
+			fin[i] = graph.EdgeID(len(packed))
+			packed = append(packed, kept[i])
+			i++
+		default:
+			packed = append(packed, extras[j])
+			j++
+		}
+	}
+	for id := 0; id < oldNE; id++ {
+		if remapID[id] >= 0 {
+			remapID[id] = fin[remapID[id]]
+		}
+	}
+	in := graph.NewInternerFromPacked(packed)
+
+	// Compact the instance table in place: survivors renumber their target
+	// and edge ids (re-spelled edges resolve against the new universe) and
+	// revive; enumerated instances append after them, resolved the same
+	// way. Instance order within the table is unobservable — every exposed
+	// quantity (similarities, gains, per-target splits, heap order) is an
+	// aggregate over it.
+	out := ix.inst[:0]
+	for idx := range ix.inst {
+		if !survives(idx) {
+			continue
+		}
+		in0 := ix.inst[idx]
+		in0.dead = false
+		in0.target = int32(newIdx[in0.target])
+		for j, id := range in0.edges[:in0.ne] {
+			if nw := remapID[id]; nw != respelledEdge {
+				in0.edges[j] = nw
+			} else {
+				in0.edges[j] = in.ID(m.rename(oldIn.Edge(id)))
+			}
+		}
+		out = append(out, in0)
+	}
+	for nt := range byTarget {
+		for _, r := range byTarget[nt] {
+			inst := indexedInstance{target: int32(nt), ne: r.ne}
+			for j, e := range r.edges[:r.ne] {
+				inst.edges[j] = in.ID(e)
+			}
+			out = append(out, inst)
+		}
+	}
+	ix.inst = out
+	ix.in = in
+	ix.targets = newTargets
+
+	ix.gain = make([]int32, len(packed))
+	ix.perTarget = make([]int, len(newTargets))
+	for idx := range ix.inst {
+		in0 := &ix.inst[idx]
+		ix.perTarget[in0.target]++
+		for _, id := range in0.edges[:in0.ne] {
+			ix.gain[id]++
+		}
+	}
+	ix.alive = len(ix.inst)
+	ix.wireFlat()
+}
+
+// canonEdge returns e in canonical (U < V) form.
+func canonEdge(e graph.Edge) graph.Edge {
+	if !e.Canonical() {
+		return graph.Edge{U: e.V, V: e.U}
+	}
+	return e
 }
 
 // CanCreateInstances reports whether inserting the edge e — already present

@@ -152,3 +152,143 @@ func TestInsertTouchesSound(t *testing.T) {
 		})
 	}
 }
+
+// mutationFixture is applyFixture with a second target (4,5): its single
+// triangle completion runs through node 3 (edges 3-4, 3-5).
+func mutationFixture(t *testing.T) (*graph.Graph, *Index) {
+	t.Helper()
+	g := graph.New(6)
+	for _, e := range [][2]graph.NodeID{{0, 2}, {2, 1}, {0, 3}, {3, 1}, {3, 4}, {3, 5}} {
+		g.AddEdge(e[0], e[1])
+	}
+	targets := []graph.Edge{{U: 0, V: 1}, {U: 4, V: 5}}
+	ix, err := NewIndex(g, Triangle, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.TotalSimilarity() != 3 || ix.Similarity(0) != 2 || ix.Similarity(1) != 1 {
+		t.Fatalf("fixture similarities = %v, want [2 1]", ix.Similarities())
+	}
+	return g, ix
+}
+
+// TestApplyMutationTargetDrop pins the incremental target retirement: the
+// dropped target's instances are discarded wholesale, nothing is
+// enumerated, and the result matches a fresh build on the shrunken list.
+func TestApplyMutationTargetDrop(t *testing.T) {
+	g, ix := mutationFixture(t)
+	st, err := ix.ApplyMutation(g, Mutation{DropTargets: []graph.Edge{{U: 0, V: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TargetsDropped != 1 || st.DroppedInstances != 2 || st.TouchedTargets != 0 {
+		t.Fatalf("stats = %+v, want 1 target / 2 instances dropped, 0 touched", st)
+	}
+	if got := ix.Targets(); len(got) != 1 || got[0] != (graph.Edge{U: 4, V: 5}) {
+		t.Fatalf("targets after drop = %v, want [4-5]", got)
+	}
+	if ix.TotalSimilarity() != 1 || ix.Similarity(0) != 1 {
+		t.Fatalf("similarities = %v, want [1]", ix.Similarities())
+	}
+	// The retired target's edges must have left the candidate universe.
+	for _, e := range ix.AllTouchedEdges() {
+		if e.Has(0) || e.Has(1) {
+			t.Fatalf("edge %v of the dropped target still in universe", e)
+		}
+	}
+}
+
+// TestApplyMutationTargetAdd pins the incremental target addition: only the
+// new target is enumerated (TouchedTargets stays 0), appended after the
+// survivors.
+func TestApplyMutationTargetAdd(t *testing.T) {
+	g, ix := mutationFixture(t)
+	// New target (2,3): triangle completions through 0 and 1 (2-0-3, 2-1-3).
+	st, err := ix.ApplyMutation(g, Mutation{AddTargets: []graph.Edge{{U: 2, V: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TargetsAdded != 1 || st.TouchedTargets != 0 || st.KilledInstances != 0 {
+		t.Fatalf("stats = %+v, want 1 target added and nothing else touched", st)
+	}
+	want := []graph.Edge{{U: 0, V: 1}, {U: 4, V: 5}, {U: 2, V: 3}}
+	got := ix.Targets()
+	if len(got) != len(want) {
+		t.Fatalf("targets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("targets = %v, want %v", got, want)
+		}
+	}
+	if ix.TotalSimilarity() != 5 || ix.Similarity(2) != 2 {
+		t.Fatalf("similarities = %v, want [2 1 2]", ix.Similarities())
+	}
+}
+
+// TestApplyMutationNodeRemovalRemap pins the universe renaming: removing an
+// isolated node renumbers the last node into its slot, and the index must
+// re-spell every stored edge without enumerating anything.
+func TestApplyMutationNodeRemovalRemap(t *testing.T) {
+	g, ix := mutationFixture(t)
+	// Isolate and remove node 2 (edges 0-2, 1-2 removed): target (0,1)
+	// keeps one completion (via 3); node 5 is renumbered to 2, renaming
+	// target (4,5) to (2,4) and edge 3-5 to 2-3.
+	removed := []graph.Edge{{U: 0, V: 2}, {U: 1, V: 2}}
+	g.RemoveEdges(removed)
+	remap := g.RemoveNodes([]graph.NodeID{2})
+	st, err := ix.ApplyMutation(g, Mutation{Removed: removed, Remap: remap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TouchedTargets != 0 || st.KilledInstances != 1 {
+		t.Fatalf("stats = %+v, want 1 kill and no enumeration", st)
+	}
+	got := ix.Targets()
+	wantT := []graph.Edge{{U: 0, V: 1}, {U: 2, V: 4}}
+	for i := range wantT {
+		if got[i] != wantT[i] {
+			t.Fatalf("targets = %v, want %v", got, wantT)
+		}
+	}
+	fresh, err := NewIndex(g, Triangle, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.TotalSimilarity() != fresh.TotalSimilarity() {
+		t.Fatalf("similarity = %d, fresh build has %d", ix.TotalSimilarity(), fresh.TotalSimilarity())
+	}
+	gotU, wantU := ix.AllTouchedEdges(), fresh.AllTouchedEdges()
+	if len(gotU) != len(wantU) {
+		t.Fatalf("universe = %v, fresh build has %v", gotU, wantU)
+	}
+	for i := range wantU {
+		if gotU[i] != wantU[i] {
+			t.Fatalf("universe = %v, fresh build has %v", gotU, wantU)
+		}
+	}
+}
+
+func TestApplyMutationErrors(t *testing.T) {
+	g, ix := mutationFixture(t)
+	if _, err := ix.ApplyMutation(g, Mutation{DropTargets: []graph.Edge{{U: 2, V: 3}}}); err == nil {
+		t.Fatal("want error for dropping a non-target")
+	}
+	if _, err := ix.ApplyMutation(g, Mutation{DropTargets: []graph.Edge{{U: 0, V: 1}, {U: 1, V: 0}}}); err == nil {
+		t.Fatal("want error for dropping a target twice")
+	}
+}
+
+// TestTargetsReturnsCopy pins the hardened accessor: mutating the returned
+// slice must not corrupt the index's target list.
+func TestTargetsReturnsCopy(t *testing.T) {
+	_, ix := mutationFixture(t)
+	got := ix.Targets()
+	got[0] = graph.Edge{U: 9, V: 10}
+	if ix.Targets()[0] != (graph.Edge{U: 0, V: 1}) {
+		t.Fatal("Targets() aliases internal state; mutation leaked in")
+	}
+	if ix.NumTargets() != 2 {
+		t.Fatalf("NumTargets = %d, want 2", ix.NumTargets())
+	}
+}

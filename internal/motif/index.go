@@ -60,7 +60,38 @@ type Index struct {
 	heap    []graph.EdgeID
 	heapPos []int32 // id -> position in heap (every id is always present)
 
+	// Apply-path scratch, reused across ApplyMutation calls so a churny
+	// session settles into few allocations per delta. Index is not safe
+	// for concurrent mutation, so the scratch needs no locking.
+	sc applyScratch
+
 	stats BuildStats
+}
+
+// applyScratch holds the universe- and instance-sized working buffers of
+// the incremental apply path.
+type applyScratch struct {
+	drop        []bool
+	newIdx      []int
+	enum        []bool
+	killed      []bool
+	insertedNew []graph.Edge
+	byTarget    [][]rawInstance
+	oldGain     []int32
+	remapID     []graph.EdgeID
+	kept        []uint64
+	extras      []uint64
+	fin         []graph.EdgeID
+}
+
+// scratchSlice returns buf resized to n, reallocating only on growth.
+// Contents are unspecified; callers either overwrite every element or
+// clear() it first.
+func scratchSlice[T any](buf []T, n int) []T {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]T, n)
 }
 
 // indexedInstance is one enumerated target subgraph, stored compactly: the
@@ -278,8 +309,15 @@ func (ix *Index) wireFlat() {
 // Pattern returns the motif pattern the index was built for.
 func (ix *Index) Pattern() Pattern { return ix.pattern }
 
-// Targets returns the target list (do not mutate).
-func (ix *Index) Targets() []graph.Edge { return ix.targets }
+// Targets returns a copy of the current target list. Target lists are
+// mutable now that ApplyMutation edits them in place, so the internal slice
+// is never handed out; callers may keep or modify the copy freely.
+func (ix *Index) Targets() []graph.Edge {
+	return append([]graph.Edge(nil), ix.targets...)
+}
+
+// NumTargets returns the current target count without copying the list.
+func (ix *Index) NumTargets() int { return len(ix.targets) }
 
 // Interner returns the edge table the index was built over: the dense
 // EdgeID universe of the phase-1 graph. Callers use it to translate between

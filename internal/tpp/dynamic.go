@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/dynamic"
+	"repro/internal/graph"
 	"repro/internal/motif"
 )
 
@@ -13,9 +14,21 @@ import (
 type DeltaReport struct {
 	// Inserted and Removed count the canonicalized delta's edge mutations.
 	Inserted, Removed int
+	// NodesAdded and NodesRemoved count the delta's node churn.
+	NodesAdded, NodesRemoved int
+	// TargetsAdded and TargetsDropped count the target-list edits; Targets
+	// is the target count after the delta.
+	TargetsAdded, TargetsDropped, Targets int
 	// Nodes and Edges are the session graph's size after the delta
 	// (target links included).
 	Nodes, Edges int
+	// NodeRemap is the node renaming the delta's node removals produced:
+	// NodeRemap[old] is the node's new ID, graph.NoNode for removed nodes.
+	// nil means no node was removed and every ID is unchanged. Callers
+	// maintaining external node tables (label mappings, caches) must apply
+	// it; note its length is the pre-removal node count including the
+	// delta's additions.
+	NodeRemap []graph.NodeID
 	// Incremental reports whether a cached motif index existed and was
 	// maintained in place; false means the session had not built an index
 	// yet, so the next Run pays a fresh (full) enumeration.
@@ -27,25 +40,33 @@ type DeltaReport struct {
 	Elapsed time.Duration
 }
 
-// Apply mutates the session's graph by the delta and incrementally
-// maintains the cached motif index, so the session tracks an evolving
-// graph without ever re-enumerating from scratch: the next Run reuses the
+// Apply mutates the session by the delta — graph edges, node arrivals and
+// departures, and target-set edits — and incrementally maintains the
+// cached motif index, so the session tracks an evolving protection problem
+// without ever re-enumerating from scratch: the next Run reuses the
 // updated index exactly as if it had been freshly built on the mutated
-// graph (the two are bit-identical — similarities, gains, selections).
+// graph and mutated target list (the two are bit-identical — similarities,
+// gains, selections).
 //
 // The delta is canonicalized and validated first — insertions must be new
-// edges between existing nodes, removals must exist, and neither may touch
-// a target link (the target set is the session's identity); validation
-// failures wrap dynamic.ErrInvalid and leave the session untouched. Apply
-// serialises with Run on the session's run slot and honours ctx while
-// waiting for it; like the index enumeration inside Run, the apply itself
-// runs to completion once started (its cost is bounded by the enumeration
-// a fresh build would pay, usually a small fraction of it).
+// edges over live nodes, removals must exist, neither may touch a target
+// link, an added target must be an absent non-target pair (it joins the
+// target list and the session graph, but is withheld from every release), a
+// dropped target must currently be a target and at least one target must
+// survive, and a removed node must end the delta isolated and
+// target-free; validation failures wrap dynamic.ErrInvalid and leave the
+// session untouched. Node departures compact the ID space
+// (graph.RemoveNode swap-with-last): the report's NodeRemap says how
+// surviving nodes were renamed. Apply serialises with Run on the session's
+// run slot and honours ctx while waiting for it; like the index
+// enumeration inside Run, the apply itself runs to completion once started
+// (its cost is bounded by the enumeration a fresh build would pay, usually
+// a small fraction of it).
 //
 // The graph passed to New is never mutated: the first Apply detaches the
 // session onto a private clone. Results returned by earlier Runs describe
-// the pre-delta graph; re-Run the session for selections on the current
-// one.
+// the pre-delta graph and numbering; re-Run the session for selections on
+// the current one.
 func (pr *Protector) Apply(ctx context.Context, d dynamic.Delta) (*DeltaReport, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -68,20 +89,33 @@ func (pr *Protector) Apply(ctx context.Context, d dynamic.Delta) (*DeltaReport, 
 		pr.problem = &Problem{G: pr.problem.G.Clone(), Pattern: pr.problem.Pattern, Targets: pr.problem.Targets}
 		pr.ownsGraph = true
 	}
-	d.ApplyToGraph(pr.problem.G)
-	if pr.phase1 != nil {
-		// The delta never touches target links, so the phase-1 graph stays
-		// exactly problem.G minus targets under the same mutations.
-		d.ApplyToGraph(pr.phase1)
-	}
+	// Target links are withheld from the phase-1 graph, so it follows the
+	// same mutations minus the target-membership edits and stays exactly
+	// problem.G minus targets; the shared node remap is computed once.
+	remap := d.ApplyToSession(pr.problem.G, pr.phase1)
+	// ApplyTargets never mutates the old slice, so a pre-detach sharing of
+	// the caller's target list stays safe.
+	pr.problem.Targets = d.ApplyTargets(pr.problem.Targets, remap)
 	rep := &DeltaReport{
-		Inserted: len(d.Insert),
-		Removed:  len(d.Remove),
-		Nodes:    pr.problem.G.NumNodes(),
-		Edges:    pr.problem.G.NumEdges(),
+		Inserted:       len(d.Insert),
+		Removed:        len(d.Remove),
+		NodesAdded:     d.AddNodes,
+		NodesRemoved:   len(d.RemoveNodes),
+		TargetsAdded:   len(d.AddTargets),
+		TargetsDropped: len(d.DropTargets),
+		Targets:        len(pr.problem.Targets),
+		Nodes:          pr.problem.G.NumNodes(),
+		Edges:          pr.problem.G.NumEdges(),
+		NodeRemap:      remap,
 	}
 	if pr.ix != nil {
-		st, err := pr.ix.ApplyDelta(pr.phase1, d.Insert, d.Remove)
+		st, err := pr.ix.ApplyMutation(pr.phase1, motif.Mutation{
+			Inserted:    d.Insert,
+			Removed:     d.Remove,
+			AddTargets:  d.AddTargets,
+			DropTargets: d.DropTargets,
+			Remap:       remap,
+		})
 		if err != nil {
 			// Unreachable for a validated delta; if it ever happens the
 			// index no longer matches the graph, so drop it and let the

@@ -147,3 +147,188 @@ func TestSessionApplyHonoursContext(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+// TestSessionApplyFullMutationParity drives an evolving session through a
+// full mutation stream — edge churn, node arrivals/departures, target
+// add/drop — and checks, after every delta, that its selections equal those
+// of a brand-new session on the mutated graph and mutated target list: the
+// acceptance property of delta schema v2.
+func TestSessionApplyFullMutationParity(t *testing.T) {
+	for _, pattern := range []motif.Pattern{motif.Triangle, motif.Rectangle} {
+		pattern := pattern
+		t.Run(pattern.String(), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(31 * int64(pattern+1)))
+			g := gen.BarabasiAlbertTriad(150, 3, 0.4, rng)
+			targets := datasets.SampleTargets(g, 6, rng)
+			ctx := context.Background()
+
+			session, err := New(g, targets, WithPattern(pattern))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := session.Run(ctx); err != nil { // warm the index
+				t.Fatal(err)
+			}
+			churn := gen.NewMutationChurn(g, targets, gen.DefaultChurnRates(), rng)
+
+			var sawNodeChurn, sawTargetChurn bool
+			for step := 0; step < 8; step++ {
+				d := dynamic.Delta(churn.Next(6))
+				rep, err := session.Apply(ctx, d)
+				if err != nil {
+					t.Fatalf("step %d: apply %+v: %v", step, d, err)
+				}
+				if !rep.Incremental {
+					t.Fatalf("step %d: expected incremental apply on warm session", step)
+				}
+				sawNodeChurn = sawNodeChurn || rep.NodesAdded > 0 || rep.NodesRemoved > 0
+				sawTargetChurn = sawTargetChurn || rep.TargetsAdded > 0 || rep.TargetsDropped > 0
+				if (rep.NodeRemap != nil) != (rep.NodesRemoved > 0) {
+					t.Fatalf("step %d: remap presence (%v) disagrees with %d removals", step, rep.NodeRemap != nil, rep.NodesRemoved)
+				}
+
+				// The session's problem must track the churn mirror exactly.
+				p := session.Problem()
+				wantTargets := churn.Targets()
+				if rep.Targets != len(wantTargets) || len(p.Targets) != len(wantTargets) {
+					t.Fatalf("step %d: session has %d targets, churn mirror %d", step, len(p.Targets), len(wantTargets))
+				}
+				for i := range wantTargets {
+					if p.Targets[i] != wantTargets[i] {
+						t.Fatalf("step %d: target %d = %v, churn mirror has %v", step, i, p.Targets[i], wantTargets[i])
+					}
+				}
+				if p.G.NumNodes() != churn.Graph().NumNodes() || p.G.NumEdges() != churn.Graph().NumEdges() {
+					t.Fatalf("step %d: session graph %v, churn mirror %v", step, p.G, churn.Graph())
+				}
+
+				got, err := session.Run(ctx)
+				if err != nil {
+					t.Fatalf("step %d: run: %v", step, err)
+				}
+				freshSession, err := New(churn.Graph(), wantTargets, WithPattern(pattern))
+				if err != nil {
+					t.Fatalf("step %d: fresh session: %v", step, err)
+				}
+				want, err := freshSession.Run(ctx)
+				if err != nil {
+					t.Fatalf("step %d: fresh run: %v", step, err)
+				}
+				if len(got.Protectors) != len(want.Protectors) {
+					t.Fatalf("step %d: %d protectors, fresh session selected %d", step, len(got.Protectors), len(want.Protectors))
+				}
+				for i := range want.Protectors {
+					if got.Protectors[i] != want.Protectors[i] {
+						t.Fatalf("step %d: protector %d = %v, fresh session selected %v", step, i, got.Protectors[i], want.Protectors[i])
+					}
+				}
+				for i := range want.SimilarityTrace {
+					if got.SimilarityTrace[i] != want.SimilarityTrace[i] {
+						t.Fatalf("step %d: trace[%d] = %d, want %d", step, i, got.SimilarityTrace[i], want.SimilarityTrace[i])
+					}
+				}
+				for i := range want.PerTargetFinal {
+					if got.PerTargetFinal[i] != want.PerTargetFinal[i] {
+						t.Fatalf("step %d: perTarget[%d] = %d, want %d", step, i, got.PerTargetFinal[i], want.PerTargetFinal[i])
+					}
+				}
+			}
+			if session.IndexBuilds() != 1 {
+				t.Fatalf("index builds = %d, want 1 (deltas must not trigger rebuilds)", session.IndexBuilds())
+			}
+			if !sawNodeChurn || !sawTargetChurn {
+				t.Fatalf("stream exercised nodeChurn=%v targetChurn=%v; want both (tune seed)", sawNodeChurn, sawTargetChurn)
+			}
+		})
+	}
+}
+
+// TestSessionApplyRejectsInvalidMutations extends the rejection table to
+// delta schema v2; every rejection must leave the session fully usable.
+func TestSessionApplyRejectsInvalidMutations(t *testing.T) {
+	g := gen.Complete(6)
+	targets := []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}
+	session, err := New(g, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for name, d := range map[string]dynamic.Delta{
+		"add existing target":     {AddTargets: []graph.Edge{{U: 0, V: 1}}},
+		"add present edge target": {AddTargets: []graph.Edge{{U: 4, V: 5}}},
+		"drop non-target":         {DropTargets: []graph.Edge{{U: 4, V: 5}}},
+		"drop every target":       {DropTargets: []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}},
+		"remove busy node":        {RemoveNodes: []graph.NodeID{5}},
+		"remove target endpoint":  {RemoveNodes: []graph.NodeID{0}},
+		"negative add nodes":      {AddNodes: -2},
+	} {
+		if _, err := session.Apply(ctx, d); !errors.Is(err, dynamic.ErrInvalid) {
+			t.Errorf("%s: err = %v, want dynamic.ErrInvalid", name, err)
+		}
+	}
+	if session.DeltasApplied() != 0 {
+		t.Fatalf("deltas applied = %d, want 0 after rejections", session.DeltasApplied())
+	}
+	if _, err := session.Run(ctx); err != nil {
+		t.Fatalf("run after rejections: %v", err)
+	}
+}
+
+// TestSessionApplyTargetChurnCold checks the index-free path: target edits
+// on a session that has never run must still update the problem so the
+// first Run builds the right index.
+func TestSessionApplyTargetChurnCold(t *testing.T) {
+	g := gen.Complete(7)
+	targets := []graph.Edge{{U: 0, V: 1}}
+	session, err := New(g, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := session.Apply(ctx, dynamic.Delta{
+		Remove:     []graph.Edge{{U: 2, V: 3}},
+		AddTargets: []graph.Edge{{U: 2, V: 3}}, // two deltas' worth in spirit, but...
+	}); !errors.Is(err, dynamic.ErrInvalid) {
+		t.Fatalf("remove+add-target of same pair: err = %v, want ErrInvalid", err)
+	}
+	rep, err := session.Apply(ctx, dynamic.Delta{Remove: []graph.Edge{{U: 2, V: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Incremental {
+		t.Fatal("cold session claimed incremental maintenance")
+	}
+	rep, err = session.Apply(ctx, dynamic.Delta{AddTargets: []graph.Edge{{U: 2, V: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Targets != 2 || rep.Edges != g.NumEdges() { // removed one, target add restored one
+		t.Fatalf("report = %+v, want 2 targets and %d edges", rep, g.NumEdges())
+	}
+	res, err := session.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerTargetFinal) != 2 {
+		t.Fatalf("run tracked %d targets, want 2", len(res.PerTargetFinal))
+	}
+	// Parity against a fresh session on the session's own current state.
+	p := session.Problem()
+	fresh, err := New(p.G, p.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Protectors) != len(want.Protectors) {
+		t.Fatalf("%d protectors, fresh session selected %d", len(res.Protectors), len(want.Protectors))
+	}
+	for i := range want.Protectors {
+		if res.Protectors[i] != want.Protectors[i] {
+			t.Fatalf("protector %d = %v, fresh selected %v", i, res.Protectors[i], want.Protectors[i])
+		}
+	}
+}
