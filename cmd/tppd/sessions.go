@@ -51,7 +51,7 @@ type sessionRecord struct {
 // sessionStore owns the named sessions and their idle-TTL eviction.
 type sessionStore struct {
 	mu  sync.Mutex
-	m   map[string]*sessionRecord
+	m   map[string]*sessionRecord // guarded by mu
 	ttl time.Duration
 
 	stop chan struct{}
@@ -93,6 +93,7 @@ func (ss *sessionStore) janitor(interval time.Duration, evicted func(int)) {
 		case now := <-ticker.C:
 			ss.mu.Lock()
 			candidates := make([]*sessionRecord, 0, len(ss.m))
+			//lint:maporder-ok snapshot of every record; eviction below is per-record and order-independent
 			for _, rec := range ss.m {
 				candidates = append(candidates, rec)
 			}
@@ -187,6 +188,7 @@ func (ss *sessionStore) close() {
 	<-ss.done
 	ss.mu.Lock()
 	recs := make([]*sessionRecord, 0, len(ss.m))
+	//lint:maporder-ok shutdown releases every session; order is immaterial
 	for _, rec := range ss.m {
 		recs = append(recs, rec)
 	}

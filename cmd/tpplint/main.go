@@ -1,0 +1,246 @@
+// Command tpplint runs the repo's analyzer suite (maporder, viewretain,
+// hotalloc, lockguard — see internal/analysis) over Go packages.
+//
+// Standalone:
+//
+//	tpplint [packages]          # defaults to ./...
+//
+// diagnostics go to stderr, a summary line ("tpplint: analyzed N packages")
+// to stdout, and the exit status is 1 if any diagnostic fired.
+//
+// As a vet tool:
+//
+//	go vet -vettool=$(which tpplint) ./...
+//
+// In that mode the go command drives tpplint once per package through the
+// unitchecker protocol: a -V=full version handshake, a -flags query, then one
+// JSON .cfg file per package naming the sources and export data to analyze.
+package main
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/lockguard"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/viewretain"
+)
+
+// suite is every analyzer tpplint runs, in output order.
+var suite = []*analysis.Analyzer{
+	hotalloc.Analyzer,
+	lockguard.Analyzer,
+	maporder.Analyzer,
+	viewretain.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// Unitchecker protocol, spoken when the go command invokes us as a
+	// -vettool. The handshake order is fixed: -V=full, then -flags, then one
+	// call per package with the config file as the sole argument.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			// The go command hashes this line into its action IDs; it must be
+			// "name version ..." and stable for a given binary.
+			fmt.Printf("tpplint version 1 sum/%s\n", buildID())
+			return
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(vetUnit(args[0]))
+		}
+	}
+
+	os.Exit(standalone(args))
+}
+
+// buildID distinguishes tpplint binaries for the go command's vet cache. The
+// executable's own mtime+size is a cheap fingerprint: rebuilt tool, new ID.
+func buildID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	fi, err := os.Stat(exe)
+	if err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%d-%d", fi.Size(), fi.ModTime().UnixNano())
+}
+
+// standalone loads the patterns with the in-repo loader and runs the suite.
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpplint: %v\n", err)
+		return 1
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags := runSuite(pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+		total += len(diags)
+		printDiags(pkg.Fset, diags)
+	}
+	fmt.Printf("tpplint: analyzed %d packages\n", len(pkgs))
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "tpplint: %d findings\n", total)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the package description the go command writes for vet tools.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+}
+
+// vetUnit analyzes the single package described by a unitchecker .cfg file.
+// Returns the process exit code: 0 clean, 2 diagnostics, 1 internal error —
+// matching x/tools' unitchecker so the go command reports failures the same
+// way.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpplint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "tpplint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command requires an output facts file even though the suite is
+	// fact-free; an empty gob stream keeps downstream packages loadable.
+	if cfg.VetxOutput != "" {
+		if err := writeEmptyFacts(cfg.VetxOutput); err != nil {
+			fmt.Fprintf(os.Stderr, "tpplint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// Test sources are in scope under go vet; the standalone loader skips
+		// them, so vet mode is the stricter of the two.
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpplint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		canonical := path
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			canonical = mapped
+		}
+		file, ok := cfg.PackageFile[canonical]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tconf := types.Config{Importer: imp}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpplint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags := runSuite(fset, files, tpkg, info)
+	printDiags(fset, diags)
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// writeEmptyFacts writes a valid empty facts file for the go command's cache.
+func writeEmptyFacts(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// An empty gob stream decodes as zero facts.
+	return gob.NewEncoder(f).Encode([]struct{}{})
+}
+
+// runSuite applies every analyzer to one package and returns the merged,
+// position-sorted diagnostics.
+func runSuite(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, a := range suite {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "tpplint: %s: %v\n", a.Name, err)
+		}
+	}
+	analysis.SortDiagnostics(fset, diags)
+	return diags
+}
+
+// printDiags writes diagnostics in the conventional file:line:col form.
+func printDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", posn, d.Message, d.Analyzer)
+	}
+}

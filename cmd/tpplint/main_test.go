@@ -1,0 +1,36 @@
+package main
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/analysis/load"
+)
+
+// TestSuiteCleanOnTree runs every analyzer over the whole module in-process
+// and demands zero diagnostics: the tree must stay tpplint-clean, with every
+// intentional exception carrying a reasoned annotation.
+func TestSuiteCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the full module")
+	}
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test source file")
+	}
+	root := filepath.Join(filepath.Dir(thisFile), "..", "..")
+	pkgs, err := load.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	for _, pkg := range pkgs {
+		diags := runSuite(pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+		for _, d := range diags {
+			t.Errorf("%s: %s [%s]", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+}

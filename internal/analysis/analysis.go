@@ -1,0 +1,158 @@
+// Package analysis is the repo's static-analysis core: a deliberately small,
+// API-compatible subset of golang.org/x/tools/go/analysis (which cannot be
+// vendored here — the module is dependency-free), plus the comment-directive
+// conventions the tpplint analyzers share.
+//
+// The suite machine-enforces contracts the codebase otherwise states only in
+// doc comments and tests:
+//
+//   - maporder: no order-dependent iteration over maps in deterministic paths;
+//   - viewretain: borrowed graph.NeighborsView rows must not outlive the next
+//     graph mutation or escape the borrowing function;
+//   - hotalloc: functions annotated //tpp:hotpath must not contain allocating
+//     constructs, so the zero-alloc kernels cannot regress silently;
+//   - lockguard: struct fields annotated "guarded by mu" are only touched
+//     while that mutex is held.
+//
+// Analyzers are intra-package and fact-free; they run over packages loaded by
+// the sibling load package (standalone tpplint, CI) or handed over by go vet
+// in -vettool mode.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring x/tools' analysis.Analyzer
+// closely enough that the analyzers could be ported onto the real framework
+// unchanged if the dependency ever becomes available.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in diagnostics and //lint: suppressions
+	Doc  string // one-paragraph description of the contract enforced
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the pass's FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives each diagnostic that survives suppression.
+	Report func(Diagnostic)
+
+	lineComments map[string]map[int]string // filename -> line -> comment text
+}
+
+// Reportf records a finding unless the offending line (or the line directly
+// above it) carries a matching //lint:<analyzer>-ok <reason> suppression.
+// A suppression without a reason does not suppress: the annotation contract
+// is that every waiver explains itself.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.suppressed(pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// suppressed reports whether pos is covered by a //lint:<name>-ok directive
+// with a non-empty reason on its own line or the line above.
+func (p *Pass) suppressed(pos token.Pos) bool {
+	if p.lineComments == nil {
+		p.lineComments = make(map[string]map[int]string)
+		for _, f := range p.Files {
+			name := p.Fset.Position(f.Pos()).Filename
+			lines := make(map[int]string)
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					line := p.Fset.Position(c.Pos()).Line
+					lines[line] += c.Text
+				}
+			}
+			p.lineComments[name] = lines
+		}
+	}
+	position := p.Fset.Position(pos)
+	lines := p.lineComments[position.Filename]
+	marker := "//lint:" + p.Analyzer.Name + "-ok"
+	for _, line := range []int{position.Line, position.Line - 1} {
+		text, ok := lines[line]
+		if !ok {
+			continue
+		}
+		if i := strings.Index(text, marker); i >= 0 {
+			reason := strings.TrimSpace(text[i+len(marker):])
+			if reason != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasDirective reports whether the comment group contains a comment line
+// starting with the given directive (e.g. "//tpp:hotpath"). Directive
+// comments follow the Go convention: no space after //, so go doc omits them.
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// Parents maps every node in the file to its syntactic parent. Analyzers use
+// it for "what encloses this statement" questions (enclosing block, loop
+// nesting) that ast.Inspect alone cannot answer.
+func Parents(file *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// SortDiagnostics orders diagnostics by position then analyzer name, the
+// deterministic output order of every driver.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

@@ -1,0 +1,169 @@
+// Package analysistest runs an analyzer over a golden fixture package and
+// compares its diagnostics against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repo's dependency-free
+// analysis core.
+//
+// A fixture line expecting diagnostics carries a trailing comment:
+//
+//	for k := range m { // want `iteration over map`
+//
+// Each string after `want` is a regular expression (quoted or backquoted)
+// that must match the message of a diagnostic reported on that line; every
+// diagnostic must be expected and every expectation must fire, so fixtures
+// are simultaneously positive and negative tests.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// wantRe extracts the expectation list from a comment.
+var wantRe = regexp.MustCompile("// *want +(.*)$")
+
+// expectation is one `// want` regexp with its location.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// moduleDir locates the repository root (the module the fixtures' imports
+// resolve against) from this source file's location.
+func moduleDir(t *testing.T) string {
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate analysistest source file")
+	}
+	// .../internal/analysis/analysistest/analysistest.go -> repo root.
+	return filepath.Join(filepath.Dir(thisFile), "..", "..", "..")
+}
+
+// Fixture returns the path of a named fixture directory under the analysis
+// testdata tree.
+func Fixture(t *testing.T, name string) string {
+	return filepath.Join(moduleDir(t), "internal", "analysis", "testdata", "src", name)
+}
+
+// Run loads the fixture package in dir, applies the analyzer, and reports
+// every mismatch between diagnostics and `// want` expectations as a test
+// error.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := load.LoadDir(dir, moduleDir(t))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	expectations := collectWants(t, pkg)
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	analysis.SortDiagnostics(pkg.Fset, diags)
+	for _, d := range diags {
+		posn := pkg.Fset.Position(d.Pos)
+		found := false
+		for _, exp := range expectations {
+			if exp.file == posn.Filename && exp.line == posn.Line && !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for _, exp := range expectations {
+		if !exp.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", exp.file, exp.line, exp.re)
+		}
+	}
+}
+
+// collectWants parses the `// want` comments of every fixture file.
+func collectWants(t *testing.T, pkg *load.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				res, err := parsePatterns(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", posn, err)
+				}
+				for _, re := range res {
+					out = append(out, &expectation{file: posn.Filename, line: posn.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parsePatterns splits a want payload into its quoted/backquoted regexps.
+func parsePatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit string
+		switch s[0] {
+		case '`':
+			end := strings.Index(s[1:], "`")
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			lit = s[1 : 1+end]
+			s = s[end+2:]
+		case '"':
+			rest := s[1:]
+			end := strings.Index(rest, `"`)
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			var err error
+			lit, err = strconv.Unquote(s[:end+2])
+			if err != nil {
+				return nil, err
+			}
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("want pattern must be quoted or backquoted, got %q", s)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+		s = strings.TrimSpace(s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}

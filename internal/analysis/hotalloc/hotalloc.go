@@ -1,0 +1,129 @@
+// Package hotalloc enforces the zero-alloc discipline of the merge-join and
+// selection kernels: inside a function whose doc comment carries the
+// //tpp:hotpath directive, no allocating construct may appear. The kernels
+// earn their benchmarks by appending into caller-owned scratch and indexing
+// flat arrays; one stray make or closure in a per-candidate loop silently
+// costs a GC cycle per selection step.
+//
+// Flagged constructs:
+//
+//   - make(...) and new(...)
+//   - function literals (closures allocate their capture environment)
+//   - slice, map and chan composite literals, and &T{...} of any type
+//   - string <-> []byte / []rune conversions
+//   - go statements (a goroutine is not an allocation-free construct)
+//
+// Calls into other functions are not traced — the discipline is per
+// function, and callees that must stay allocation-free carry their own
+// //tpp:hotpath. Intentional amortised or setup allocations inside a hot
+// function are waived line by line with //lint:hotalloc-ok <reason>.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Directive marks a function as a steady-state hot path.
+const Directive = "//tpp:hotpath"
+
+// Analyzer is the hotalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocating constructs in functions annotated " + Directive,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasDirective(fd.Doc, Directive) {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil && obj.Parent() == types.Universe {
+					switch id.Name {
+					case "make":
+						pass.Reportf(x.Pos(), "make in hot path %s (annotate //lint:hotalloc-ok <reason> if amortised)", name)
+					case "new":
+						pass.Reportf(x.Pos(), "new in hot path %s", name)
+					}
+				}
+			}
+			if convAllocates(pass, x) {
+				pass.Reportf(x.Pos(), "string/slice conversion allocates in hot path %s", name)
+			}
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "closure allocates in hot path %s", name)
+			return true // still scan the closure body: it runs on the hot path too
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(x)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(x.Pos(), "slice literal allocates in hot path %s", name)
+			case *types.Map:
+				pass.Reportf(x.Pos(), "map literal allocates in hot path %s", name)
+			case *types.Chan:
+				pass.Reportf(x.Pos(), "channel literal allocates in hot path %s", name)
+			}
+		case *ast.UnaryExpr:
+			if x.Op.String() == "&" {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "&composite literal allocates in hot path %s", name)
+				}
+			}
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "go statement in hot path %s", name)
+		}
+		return true
+	})
+}
+
+// convAllocates reports whether the call is a string<->[]byte/[]rune
+// conversion, which copies its operand.
+func convAllocates(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	to, from := tv.Type.Underlying(), pass.TypesInfo.TypeOf(call.Args[0])
+	if from == nil {
+		return false
+	}
+	from = from.Underlying()
+	return (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,205 @@
+// Package load type-checks Go packages for the tpplint analyzers without
+// golang.org/x/tools/go/packages (the module is dependency-free): package
+// discovery and export-data paths come from `go list -export -json`, syntax
+// from go/parser, and types from go/types with a gc-export-data importer.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the JSON
+// package stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup resolves import paths to gc export-data files. The table is
+// seeded by the batch loader and extended lazily (one `go list -export` per
+// miss) for fixture packages whose imports were not pre-listed.
+type exportLookup struct {
+	mu      sync.Mutex
+	dir     string
+	exports map[string]string
+}
+
+func (el *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	el.mu.Lock()
+	file, ok := el.exports[path]
+	el.mu.Unlock()
+	if !ok {
+		pkgs, err := goList(el.dir, "list", "-export", "-json=ImportPath,Export", path)
+		if err != nil {
+			return nil, fmt.Errorf("resolving import %q: %v", path, err)
+		}
+		for _, p := range pkgs {
+			if p.ImportPath == path {
+				file = p.Export
+			}
+		}
+		el.mu.Lock()
+		el.exports[path] = file
+		el.mu.Unlock()
+	}
+	if file == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// check parses and type-checks one package's files against the lookup table.
+func check(fset *token.FileSet, importPath, dir string, goFiles []string, el *exportLookup) (*Package, error) {
+	files := make([]*ast.File, 0, len(goFiles))
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", el.lookup)}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      pkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// Load type-checks the packages matching the patterns (relative to dir; "."
+// when empty), excluding test files — the analyzers police production code.
+// One `go list -deps -export` walk supplies both the target file sets and
+// the export data of every dependency, so no per-import subprocesses run.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if dir == "" {
+		dir = "."
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Incomplete,Error",
+	}, patterns...)
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	el := &exportLookup{dir: dir, exports: make(map[string]string, len(listed))}
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			el.exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, p)
+	}
+	fset := token.NewFileSet()
+	out := make([]*Package, 0, len(targets))
+	for _, p := range targets {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, p.ImportPath, p.Dir, p.GoFiles, el)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir type-checks the single package rooted at dir (every non-test .go
+// file), resolving imports lazily against the module in moduleDir. This is
+// the analysistest fixture loader: fixture directories live under testdata,
+// outside the go tool's package graph, so they are parsed by hand.
+func LoadDir(dir, moduleDir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		goFiles = append(goFiles, name)
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	el := &exportLookup{dir: moduleDir, exports: make(map[string]string)}
+	return check(token.NewFileSet(), "fixture/"+filepath.Base(dir), dir, goFiles, el)
+}

@@ -1,0 +1,222 @@
+// Package lockguard enforces "guarded by" field annotations: a struct field
+// whose declaration carries a `// guarded by <mutex>` comment may only be
+// read or written while that mutex (a sync.Mutex or sync.RWMutex field of
+// the same struct) is held on the same value.
+//
+// The check is intra-procedural and linear: within each function, a guarded
+// access `x.field` is legal if an `x.mu.Lock()` (or RLock) textually
+// precedes it with no intervening non-deferred `x.mu.Unlock()` (RUnlock).
+// Deferred unlocks run at return, so they do not end the critical section.
+// Functions whose doc comment carries //tpp:locked declare "caller holds the
+// lock" and are exempt. Remaining intentional accesses (e.g. constructors
+// publishing a value no other goroutine can see yet) are waived with
+// //lint:lockguard-ok <reason>.
+//
+// The linear scan deliberately over-approximates branches: a Lock in one
+// arm of an if satisfies a later access. That trade keeps the checker
+// simple and has no false negatives on straight-line critical sections,
+// which is the shape this codebase uses.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// LockedDirective on a function's doc comment asserts its caller holds the
+// relevant mutex.
+const LockedDirective = "//tpp:locked"
+
+// Analyzer is the lockguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "flags accesses to `guarded by mu` fields made without holding the mutex",
+	Run:  run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedField records one annotated field and the mutex field guarding it.
+type guardedField struct {
+	mutex string
+}
+
+func run(pass *analysis.Pass) error {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || analysis.HasDirective(fd.Doc, LockedDirective) {
+				continue
+			}
+			checkFunc(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuarded finds `// guarded by <name>` annotations on struct fields
+// and resolves them to types.Var objects. A guard naming a field that is not
+// a sync.Mutex/RWMutex of the same struct is itself a diagnostic: a typo in
+// the annotation must not silently disable the check.
+func collectGuarded(pass *analysis.Pass) map[types.Object]guardedField {
+	guarded := make(map[types.Object]guardedField)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mutex := guardAnnotation(field)
+				if mutex == "" {
+					continue
+				}
+				if !hasMutexField(pass, st, mutex) {
+					pass.Reportf(field.Pos(), "field annotated `guarded by %s` but the struct has no sync.Mutex/RWMutex field %s", mutex, mutex)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guarded[obj] = guardedField{mutex: mutex}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// hasMutexField reports whether the struct declares a sync.Mutex or
+// sync.RWMutex field with the given name.
+func hasMutexField(pass *analysis.Pass, st *ast.StructType, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, fn := range field.Names {
+			if fn.Name != name {
+				continue
+			}
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t == nil {
+				return false
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return false
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+				return false
+			}
+			return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+		}
+	}
+	return false
+}
+
+// lockEvent is one Lock/Unlock call on a specific base expression's mutex.
+type lockEvent struct {
+	pos      token.Pos
+	acquire  bool
+	deferred bool
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guarded map[types.Object]guardedField) {
+	// Gather, per "base.mutex" spelling, the lock/unlock events.
+	events := make(map[string][]lockEvent)
+	var record func(n ast.Node, deferred bool)
+	record = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if ds, ok := m.(*ast.DeferStmt); ok && !deferred {
+				record(ds.Call, true)
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			var acquire bool
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				acquire = true
+			case "Unlock", "RUnlock":
+				acquire = false
+			default:
+				return true
+			}
+			// sel.X must itself be base.mutex — key events by its spelling.
+			key := types.ExprString(sel.X)
+			events[key] = append(events[key], lockEvent{pos: call.Pos(), acquire: acquire, deferred: deferred})
+			return true
+		})
+	}
+	record(fd.Body, false)
+	//lint:maporder-ok each key's event list is sorted in place; keys are independent
+	for key := range events {
+		sort.Slice(events[key], func(i, j int) bool { return events[key][i].pos < events[key][j].pos })
+	}
+
+	// Check every guarded selector access.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil {
+			return true
+		}
+		gf, ok := guarded[obj]
+		if !ok {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		if !heldAt(events[base+"."+gf.mutex], sel.Pos()) {
+			pass.Reportf(sel.Pos(), "%s.%s accessed without holding %s.%s (annotate //lint:lockguard-ok <reason> if provably private)", base, sel.Sel.Name, base, gf.mutex)
+		}
+		return true
+	})
+}
+
+// heldAt replays the lock events before pos: held if the most recent
+// non-deferred event was an acquire (deferred unlocks run at return and are
+// ignored).
+func heldAt(events []lockEvent, pos token.Pos) bool {
+	held := false
+	for _, ev := range events {
+		if ev.pos >= pos {
+			break
+		}
+		if ev.deferred {
+			continue
+		}
+		held = ev.acquire
+	}
+	return held
+}

@@ -1,0 +1,251 @@
+// Package maporder flags `for range` over maps: Go randomises map iteration
+// order, so any map walk whose effects depend on visit order breaks the
+// repo's bit-identical determinism contract (selections, canonical encodings,
+// delta replay parity).
+//
+// A range over a map is accepted without annotation only when the analyzer
+// can see it is order-insensitive:
+//
+//   - the loop binds no variables (`for range m`), so iterations are
+//     indistinguishable;
+//   - the body only folds elements with commutative integer updates
+//     (x++, x--, x += e, x |= e, x &= e, x ^= e, x *= e);
+//   - the body only collects keys/values into slices that are demonstrably
+//     sorted later in the same block (sort.*, slices.Sort*, *.SortEdges, ...);
+//   - the body is the map-clearing idiom `for k := range m { delete(m, k) }`.
+//
+// Everything else needs a `//lint:maporder-ok <reason>` annotation on the
+// loop (or the line above), with a non-empty reason.
+//
+// Test files are exempt: the determinism contract is about shipped outputs
+// (selections, encodings, replay parity), while test-side map walks are
+// reference counters and set comparisons whose assertions are order-agnostic
+// by construction — and CI runs the suite with -shuffle=on, which stresses
+// order independence directly.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flags order-dependent iteration over maps in deterministic paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		parents := analysis.Parents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv := pass.TypesInfo.TypeOf(rs.X)
+			if tv == nil {
+				return true
+			}
+			if _, isMap := tv.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if rs.Key == nil && rs.Value == nil {
+				return true // `for range m`: iterations are indistinguishable
+			}
+			if aggregateOnly(pass, rs.Body) {
+				return true
+			}
+			if clearOnly(rs) {
+				return true
+			}
+			if collectedThenSorted(pass, rs, parents) {
+				return true
+			}
+			pass.Reportf(rs.Pos(), "iteration over map %s has randomized order; sort the keys or annotate //lint:maporder-ok <reason>", types.ExprString(rs.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// aggregateOnly reports whether every statement in the body is a commutative
+// integer fold, i.e. the loop's net effect is independent of visit order.
+func aggregateOnly(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	for _, stmt := range body.List {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			if !integerTyped(pass, s.X) {
+				return false
+			}
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+			default:
+				return false
+			}
+			if len(s.Lhs) != 1 || !integerTyped(pass, s.Lhs[0]) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// clearOnly recognises the map-clearing idiom `for k := range m { delete(m, k) }`:
+// the body is a single delete of the ranged key from the ranged map, which
+// removes every entry regardless of visit order.
+func clearOnly(rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || rs.Value != nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	es, ok := rs.Body.List[0].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "delete" {
+		return false
+	}
+	arg1, ok := call.Args[1].(*ast.Ident)
+	return ok && arg1.Name == key.Name && types.ExprString(call.Args[0]) == types.ExprString(rs.X)
+}
+
+// integerTyped reports whether e has an integer basic type — the kinds whose
+// += / |= / &= / ^= / *= folds commute (float addition does not, string
+// concatenation does not).
+func integerTyped(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// collectedThenSorted recognises the canonical determinisation idiom: the
+// loop body only appends map keys/values to local slices, and each such
+// slice is passed to a sorting call later in the same enclosing block.
+func collectedThenSorted(pass *analysis.Pass, rs *ast.RangeStmt, parents map[ast.Node]ast.Node) bool {
+	// Every body statement must be `s = append(s, ...)` for an ident s.
+	collected := make(map[types.Object]bool)
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+		arg0, ok := call.Args[0].(*ast.Ident)
+		if !ok || arg0.Name != lhs.Name {
+			return false
+		}
+		obj := pass.TypesInfo.ObjectOf(lhs)
+		if obj == nil {
+			return false
+		}
+		collected[obj] = true
+	}
+	if len(collected) == 0 {
+		return false
+	}
+	// Each collected slice must be sorted after the loop in the same block.
+	block, ok := parents[rs].(*ast.BlockStmt)
+	if !ok {
+		return false
+	}
+	after := false
+	for _, stmt := range block.List {
+		if stmt == ast.Stmt(rs) {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSortCall(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id := rootIdent(arg); id != nil {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil && collected[obj] {
+						delete(collected, obj)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return len(collected) == 0
+}
+
+// isSortCall recognises sort.*, slices.Sort* and Sort-prefixed helpers
+// (e.g. graph.SortEdges) as sorting the slice they receive.
+func isSortCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if pkg, ok := sel.X.(*ast.Ident); ok && (pkg.Name == "sort" || pkg.Name == "slices") {
+		return true
+	}
+	return strings.HasPrefix(sel.Sel.Name, "Sort")
+}
+
+// rootIdent unwraps selector/index/slice expressions to their base ident.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if len(x.Args) == 1 {
+				e = x.Args[0] // conversions like string(k)
+				continue
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

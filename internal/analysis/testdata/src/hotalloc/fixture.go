@@ -1,0 +1,72 @@
+// Fixture for the hotalloc analyzer: allocating constructs inside
+// //tpp:hotpath functions are flagged; the same constructs in unannotated
+// functions are not.
+package fixture
+
+// scan is a hot kernel: every allocating construct is a finding.
+//
+//tpp:hotpath
+func scan(xs []int) int {
+	buf := make([]int, len(xs)) // want `make in hot path scan`
+	extra := []int{1, 2, 3}     // want `slice literal allocates in hot path scan`
+	lookup := map[int]bool{}    // want `map literal allocates in hot path scan`
+	p := new(int)               // want `new in hot path scan`
+	box := &point{x: 1}         // want `&composite literal allocates in hot path scan`
+	f := func(v int) int {      // want `closure allocates in hot path scan`
+		return v * 2
+	}
+	go drain(buf) // want `go statement in hot path scan`
+	total := *p + box.x + f(1)
+	for _, v := range xs {
+		total += v
+	}
+	_ = append(buf, extra...)
+	_ = lookup
+	return total
+}
+
+// convert is hot: string round-trips copy.
+//
+//tpp:hotpath
+func convert(s string) int {
+	b := []byte(s) // want `string/slice conversion allocates in hot path convert`
+	t := string(b) // want `string/slice conversion allocates in hot path convert`
+	return len(b) + len(t)
+}
+
+// amortised growth is legal when waived with a reason.
+//
+//tpp:hotpath
+func grow(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n) //lint:hotalloc-ok growth to high-water mark, amortised across calls
+	}
+	return buf[:n]
+}
+
+// zeroAlloc is the discipline the kernels follow: index, append into the
+// caller's buffer, no fresh memory.
+//
+//tpp:hotpath
+func zeroAlloc(xs, buf []int) []int {
+	for _, v := range xs {
+		if v > 0 {
+			buf = append(buf, v)
+		}
+	}
+	return buf
+}
+
+// cold functions may allocate freely.
+func cold(n int) []int {
+	out := make([]int, n)
+	f := func(i int) int { return i }
+	for i := range out {
+		out[i] = f(i)
+	}
+	return out
+}
+
+type point struct{ x int }
+
+func drain([]int) {}

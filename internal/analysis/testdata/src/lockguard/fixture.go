@@ -1,0 +1,93 @@
+// Fixture for the lockguard analyzer: fields annotated `guarded by <mutex>`
+// must only be touched while that mutex is held.
+package fixture
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	m  map[string]int // guarded by mu
+}
+
+type rwstore struct {
+	mu   sync.RWMutex
+	hits int // guarded by mu
+}
+
+type typoed struct {
+	mu sync.Mutex
+	// guarded by lock
+	count int // want `no sync.Mutex/RWMutex field lock`
+}
+
+// good: classic lock/access/unlock.
+func (s *store) put(k string, v int) {
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// good: deferred unlock keeps the section open to the end.
+func (s *store) get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+// flagged: no lock at all.
+func (s *store) size() int {
+	return len(s.m) // want `s.m accessed without holding s.mu`
+}
+
+// flagged: the read happens after the critical section closed.
+func (s *store) putThenRead(k string, v int) int {
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+	return s.m[k] // want `s.m accessed without holding s.mu`
+}
+
+// good: read lock satisfies the guard on an RWMutex.
+func (r *rwstore) load() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.hits
+}
+
+// flagged: RWMutex guard still requires some lock.
+func (r *rwstore) bump() {
+	r.hits++ // want `r.hits accessed without holding r.mu`
+}
+
+// good: the caller holds the lock, declared via directive.
+//
+//tpp:locked
+func (s *store) removeLocked(k string) {
+	delete(s.m, k)
+}
+
+// good: a constructor touching a value no other goroutine can see yet is
+// waived with a reason.
+func newStore() *store {
+	s := &store{}
+	s.m = make(map[string]int) //lint:lockguard-ok fresh value, unpublished
+	return s
+}
+
+// good: locking a different instance's mutex does not leak onto this one —
+// each receiver spelling is tracked separately.
+func transfer(a, b *store, k string) {
+	a.mu.Lock()
+	v := a.m[k]
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.m[k] = v
+	b.mu.Unlock()
+}
+
+// flagged: holding a's lock does not cover b's field.
+func leak(a, b *store, k string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.m[k] = a.m[k] // want `b.m accessed without holding b.mu`
+}

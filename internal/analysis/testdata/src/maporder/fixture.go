@@ -1,0 +1,115 @@
+// Fixture for the maporder analyzer: positive cases carry want comments,
+// negative cases must stay silent.
+package fixture
+
+import "sort"
+
+// flagged: visit order leaks into the result.
+func concatKeys(m map[string]int) string {
+	s := ""
+	for k := range m { // want `iteration over map m has randomized order`
+		s += k
+	}
+	return s
+}
+
+// flagged: order-dependent body behind a value range.
+func firstValue(m map[string]int) int {
+	for _, v := range m { // want `iteration over map m has randomized order`
+		return v
+	}
+	return 0
+}
+
+// flagged: an annotation without a reason does not suppress.
+//
+//lint:maporder-ok
+func annotatedWithoutReason(m map[string]int) string {
+	s := ""
+	//lint:maporder-ok
+	for k := range m { // want `iteration over map m has randomized order`
+		s += k
+	}
+	return s
+}
+
+// silent: a reasoned annotation on the line above waives the loop.
+func annotatedWithReason(m map[string]int) string {
+	s := ""
+	//lint:maporder-ok result feeds an order-insensitive hash
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// silent: no iteration variables, so iterations are indistinguishable.
+func countIterations(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// silent: commutative integer folds are order-insensitive.
+func sumValues(m map[string]int) (total int, bits uint64) {
+	for _, v := range m {
+		total += v
+		bits |= uint64(v)
+	}
+	return total, bits
+}
+
+// silent: keys are collected and demonstrably sorted before use.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// flagged: collected but never sorted in this block.
+func unsortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `iteration over map m has randomized order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// silent: float accumulation is NOT waived as an aggregate (addition does
+// not commute in rounding), so it must be annotated to pass.
+func sumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `iteration over map m has randomized order`
+		total += v
+	}
+	return total
+}
+
+// silent: the map-clearing idiom removes every key regardless of order.
+func clearAll(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// flagged: deleting from a different map is order-dependent (the body's
+// effect depends on which keys m still holds when visited).
+func clearOther(m, other map[string]int) {
+	for k := range m { // want `iteration over map m has randomized order`
+		delete(other, k)
+	}
+}
+
+// silent: ranging over a slice is always fine.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

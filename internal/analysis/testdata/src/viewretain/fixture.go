@@ -1,0 +1,115 @@
+// Fixture for the viewretain analyzer: a self-contained graph with the same
+// borrow/mutate API shape as repro/internal/graph.
+package fixture
+
+type NodeID = int32
+
+// Graph mimics the real graph: NeighborsView borrows internal storage,
+// AddEdge/RemoveEdge invalidate outstanding views.
+type Graph struct{ adj [][]NodeID }
+
+func (g *Graph) NeighborsView(n NodeID) []NodeID { return g.adj[n] }
+
+func (g *Graph) Neighbors(n NodeID) []NodeID {
+	out := make([]NodeID, len(g.adj[n]))
+	copy(out, g.adj[n])
+	return out
+}
+
+func (g *Graph) AddEdge(u, v NodeID) bool    { g.adj[u] = append(g.adj[u], v); return true }
+func (g *Graph) RemoveEdge(u, v NodeID) bool { return false }
+
+// Mutation mirrors motif.Mutation: ApplyToGraph mutates its argument.
+type Mutation struct{}
+
+func (m *Mutation) ApplyToGraph(g *Graph) {}
+
+type holder struct{ row []NodeID }
+
+// flagged: the borrowed row escapes to the caller.
+func returnedDirect(g *Graph, n NodeID) []NodeID {
+	return g.NeighborsView(n) // want `borrowed NeighborsView of g returned`
+}
+
+// flagged: bound first, then returned.
+func returnedBound(g *Graph, n NodeID) []NodeID {
+	nbrs := g.NeighborsView(n)
+	return nbrs // want `borrowed NeighborsView nbrs returned`
+}
+
+// flagged: stored into a struct field.
+func storedField(g *Graph, h *holder, n NodeID) {
+	h.row = g.NeighborsView(n) // want `borrowed NeighborsView of g stored in h.row`
+}
+
+// flagged: retained through a composite literal.
+func storedLiteral(g *Graph, n NodeID) holder {
+	return holder{row: g.NeighborsView(n)} // want `borrowed NeighborsView of g stored in composite literal`
+}
+
+// flagged: the view is read after the graph mutated underneath it.
+func useAfterMutation(g *Graph, n NodeID) NodeID {
+	nbrs := g.NeighborsView(n)
+	g.AddEdge(n, n+1)
+	return nbrs[0] // want `borrowed NeighborsView nbrs used after g was mutated`
+}
+
+// flagged: ApplyToGraph-style mutators taking the graph as argument count.
+func useAfterApply(g *Graph, m *Mutation, n NodeID) NodeID {
+	nbrs := g.NeighborsView(n)
+	m.ApplyToGraph(g)
+	return nbrs[0] // want `borrowed NeighborsView nbrs used after g was mutated`
+}
+
+// flagged: iteration N+1 reads a view invalidated in iteration N.
+func loopCarried(g *Graph, n NodeID, rounds int) {
+	nbrs := g.NeighborsView(n)
+	for i := 0; i < rounds; i++ {
+		_ = nbrs[0] // want `borrowed NeighborsView nbrs used in a loop that also mutates g`
+		g.RemoveEdge(n, NodeID(i))
+	}
+}
+
+// flagged: mutating the graph while ranging over its own view.
+func mutateWhileRanging(g *Graph, n NodeID) {
+	for _, w := range g.NeighborsView(n) {
+		g.RemoveEdge(n, w) // want `g mutated while ranging over its borrowed NeighborsView`
+	}
+}
+
+// silent: consume the view fully before mutating.
+func consumeThenMutate(g *Graph, n NodeID) int {
+	nbrs := g.NeighborsView(n)
+	total := 0
+	for _, w := range nbrs {
+		total += int(w)
+	}
+	g.AddEdge(n, n+1)
+	return total
+}
+
+// silent: mutating a different graph leaves the view valid.
+func differentGraph(g, other *Graph, n NodeID) NodeID {
+	nbrs := g.NeighborsView(n)
+	other.AddEdge(n, n+1)
+	return nbrs[0]
+}
+
+// silent: rebinding inside the loop re-fetches after each mutation.
+func refetchInLoop(g *Graph, n NodeID, rounds int) {
+	for i := 0; i < rounds; i++ {
+		nbrs := g.NeighborsView(n)
+		_ = nbrs
+		g.RemoveEdge(n, NodeID(i))
+	}
+}
+
+// silent: returning a copy is the documented escape hatch.
+func returnCopy(g *Graph, n NodeID) []NodeID {
+	return g.Neighbors(n)
+}
+
+// silent: a reasoned waiver.
+func waived(g *Graph, h *holder, n NodeID) {
+	h.row = g.NeighborsView(n) //lint:viewretain-ok holder dies before the next mutation, see caller
+}

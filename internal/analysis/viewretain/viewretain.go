@@ -1,0 +1,287 @@
+// Package viewretain enforces the borrow discipline of graph.NeighborsView:
+// the returned slice aliases the graph's internal adjacency row, so it is
+// invalidated by ANY subsequent mutation and must never outlive the
+// borrowing function. The analyzer flags, within each function:
+//
+//   - a borrowed view that is returned to the caller;
+//   - a borrowed view stored into a struct field, map/slice element, or
+//     composite literal (escapes beyond the stack frame);
+//   - a borrowed view used after a mutating method call on the same graph
+//     value (straight-line order, plus the loop-carried case where the
+//     mutation and the use share a loop body the binding does not);
+//   - a mutating method call on the graph inside a loop ranging directly
+//     over one of its views.
+//
+// The check is intra-procedural and name-based: borrow methods and mutator
+// methods are recognised by name (NeighborsView; AddEdge/RemoveNode/... and
+// ApplyToGraph taking the graph as argument), matching the graph package's
+// actual API. False negatives through helper calls are accepted; the point
+// is to catch the overwhelmingly common direct patterns mechanically.
+// Deliberate safe retention is waived with //lint:viewretain-ok <reason>.
+package viewretain
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the viewretain check.
+var Analyzer = &analysis.Analyzer{
+	Name: "viewretain",
+	Doc:  "flags borrowed NeighborsView slices that escape or survive a graph mutation",
+	Run:  run,
+}
+
+// borrowMethods return slices aliasing graph-internal storage.
+var borrowMethods = map[string]bool{
+	"NeighborsView": true,
+}
+
+// mutatorMethods invalidate every outstanding borrowed view of their receiver.
+var mutatorMethods = map[string]bool{
+	"AddEdge": true, "AddEdgeE": true, "AddNode": true,
+	"RemoveEdge": true, "RemoveEdgeE": true, "RemoveEdges": true,
+	"RemoveNode": true, "RemoveNodes": true,
+}
+
+// argMutators mutate the graph passed as their sole argument
+// (motif.Mutation.ApplyToGraph and friends).
+var argMutators = map[string]bool{
+	"ApplyToGraph": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// borrowCall matches g.NeighborsView(...) and returns the receiver's
+// canonical spelling ("g", "s.g", ...) for aliasing comparisons.
+func borrowCall(call *ast.CallExpr) (recv string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !borrowMethods[sel.Sel.Name] {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// mutation matches a call that invalidates views of some graph and returns
+// that graph's canonical spelling.
+func mutation(call *ast.CallExpr) (recv string, ok bool) {
+	sel, selOK := call.Fun.(*ast.SelectorExpr)
+	if !selOK {
+		return "", false
+	}
+	if mutatorMethods[sel.Sel.Name] {
+		return types.ExprString(sel.X), true
+	}
+	if argMutators[sel.Sel.Name] && len(call.Args) >= 1 {
+		return types.ExprString(call.Args[0]), true
+	}
+	return "", false
+}
+
+// binding is one `v := g.NeighborsView(...)` in the function.
+type binding struct {
+	obj  types.Object
+	recv string
+	pos  token.Pos
+}
+
+// span is a loop body's position extent.
+type span struct{ start, end token.Pos }
+
+func (s span) contains(p token.Pos) bool { return s.start <= p && p <= s.end }
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var bindings []binding
+	var mutations []struct {
+		recv string
+		pos  token.Pos
+	}
+	var loops []span
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, span{x.Body.Pos(), x.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, span{x.Body.Pos(), x.Body.End()})
+			// Mutating the graph while ranging directly over its view.
+			if call, ok := x.X.(*ast.CallExpr); ok {
+				if recv, ok := borrowCall(call); ok {
+					ast.Inspect(x.Body, func(m ast.Node) bool {
+						if mc, ok := m.(*ast.CallExpr); ok {
+							if mrecv, ok := mutation(mc); ok && mrecv == recv {
+								pass.Reportf(mc.Pos(), "%s mutated while ranging over its borrowed NeighborsView", recv)
+							}
+						}
+						return true
+					})
+				}
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, rhs := range x.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					recv, ok := borrowCall(call)
+					if !ok {
+						continue
+					}
+					if id, ok := x.Lhs[i].(*ast.Ident); ok {
+						if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+							bindings = append(bindings, binding{obj: obj, recv: recv, pos: x.Pos()})
+						}
+					}
+					// Assigning a view into a field/element retains it.
+					if escapeTarget(x.Lhs[i]) {
+						pass.Reportf(x.Pos(), "borrowed NeighborsView of %s stored in %s; it is invalidated by the next mutation", recv, types.ExprString(x.Lhs[i]))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if recv, ok := mutation(x); ok {
+				mutations = append(mutations, struct {
+					recv string
+					pos  token.Pos
+				}{recv, x.Pos()})
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if call, ok := res.(*ast.CallExpr); ok {
+					if recv, ok := borrowCall(call); ok {
+						pass.Reportf(res.Pos(), "borrowed NeighborsView of %s returned; return a copy (Neighbors) instead", recv)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range x.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if call, ok := val.(*ast.CallExpr); ok {
+					if recv, ok := borrowCall(call); ok {
+						pass.Reportf(val.Pos(), "borrowed NeighborsView of %s stored in composite literal; it is invalidated by the next mutation", recv)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if len(bindings) == 0 {
+		return
+	}
+
+	// Uses of bound views: returned, stored, or read after a mutation of the
+	// same graph.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		for _, b := range bindings {
+			if b.obj != obj || id.Pos() <= b.pos {
+				continue
+			}
+			for _, m := range mutations {
+				if m.recv != b.recv {
+					continue
+				}
+				if b.pos < m.pos && m.pos < id.Pos() {
+					pass.Reportf(id.Pos(), "borrowed NeighborsView %s used after %s was mutated; re-fetch the view", id.Name, b.recv)
+					return true
+				}
+				// Loop-carried: mutation and use share a loop body entered
+				// after the binding, so iteration N+1 reads a stale view.
+				for _, l := range loops {
+					if b.pos < l.start && l.contains(m.pos) && l.contains(id.Pos()) {
+						pass.Reportf(id.Pos(), "borrowed NeighborsView %s used in a loop that also mutates %s; re-fetch it inside the loop", id.Name, b.recv)
+						return true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Bound views escaping through returns and field stores.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if id, ok := res.(*ast.Ident); ok {
+					if b := boundTo(pass, bindings, id); b != nil {
+						pass.Reportf(res.Pos(), "borrowed NeighborsView %s returned; return a copy (Neighbors) instead", id.Name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if i >= len(x.Lhs) {
+					break
+				}
+				if id, ok := rhs.(*ast.Ident); ok && escapeTarget(x.Lhs[i]) {
+					if b := boundTo(pass, bindings, id); b != nil {
+						pass.Reportf(x.Pos(), "borrowed NeighborsView %s stored in %s; it is invalidated by the next mutation", id.Name, types.ExprString(x.Lhs[i]))
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range x.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if id, ok := val.(*ast.Ident); ok {
+					if b := boundTo(pass, bindings, id); b != nil {
+						pass.Reportf(val.Pos(), "borrowed NeighborsView %s stored in composite literal; it is invalidated by the next mutation", id.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// boundTo returns the binding id refers to, if any (and only for uses after
+// the binding site).
+func boundTo(pass *analysis.Pass, bindings []binding, id *ast.Ident) *binding {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	for i := range bindings {
+		if bindings[i].obj == obj && id.Pos() > bindings[i].pos {
+			return &bindings[i]
+		}
+	}
+	return nil
+}
+
+// escapeTarget reports whether assigning to lhs retains the value beyond the
+// local frame: struct fields and map/slice elements.
+func escapeTarget(lhs ast.Expr) bool {
+	switch lhs.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package viewretain_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/viewretain"
+)
+
+func TestViewRetain(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "viewretain"), viewretain.Analyzer)
+}

@@ -289,6 +289,8 @@ func (g *Graph) RemoveEdges(es []Edge) int {
 
 // HasEdge reports whether the edge {u, v} exists. HasEdge(n, n) is false.
 // The test is a binary search in the lower-degree endpoint's row.
+//
+//tpp:hotpath
 func (g *Graph) HasEdge(u, v NodeID) bool {
 	if u == v || u < 0 || v < 0 || int(u) >= len(g.adj) || int(v) >= len(g.adj) {
 		return false
@@ -328,6 +330,8 @@ func (g *Graph) Neighbors(n NodeID) []NodeID {
 // held view can observe missing, duplicated or stale neighbors. Callers
 // must not mutate the returned slice, and must re-fetch it after mutating
 // the graph; use Neighbors for a stable snapshot.
+//
+//tpp:hotpath
 func (g *Graph) NeighborsView(n NodeID) []NodeID {
 	g.valid(n)
 	return g.adj[n]
@@ -336,6 +340,8 @@ func (g *Graph) NeighborsView(n NodeID) []NodeID {
 // EachNeighbor calls fn for every neighbor of n in ascending order.
 // Iteration stops early if fn returns false. The graph must not be mutated
 // during iteration.
+//
+//tpp:hotpath
 func (g *Graph) EachNeighbor(n NodeID, fn func(w NodeID) bool) {
 	g.valid(n)
 	for _, w := range g.adj[n] {
@@ -350,6 +356,8 @@ func (g *Graph) EachNeighbor(n NodeID, fn func(w NodeID) bool) {
 // for callers with a reusable scratch buffer. The intersection is a
 // merge-join of the two sorted rows, switching to binary probes of the
 // longer row when the degrees are heavily skewed (hub nodes).
+//
+//tpp:hotpath
 func (g *Graph) AppendCommonNeighbors(u, v NodeID, buf []NodeID) []NodeID {
 	g.valid(u)
 	g.valid(v)
@@ -389,6 +397,8 @@ func (g *Graph) AppendCommonNeighbors(u, v NodeID, buf []NodeID) []NodeID {
 // AppendCommonNeighbors — the form for callers that fold over the
 // intersection (e.g. Adamic–Adar/Resource-Allocation scoring) instead of
 // materialising it.
+//
+//tpp:hotpath
 func (g *Graph) EachCommonNeighbor(u, v NodeID, fn func(w NodeID)) {
 	g.valid(u)
 	g.valid(v)
@@ -429,6 +439,8 @@ func (g *Graph) CommonNeighbors(u, v NodeID) []NodeID {
 }
 
 // CommonNeighborCount returns |Γ(u) ∩ Γ(v)| without allocating.
+//
+//tpp:hotpath
 func (g *Graph) CommonNeighborCount(u, v NodeID) int {
 	g.valid(u)
 	g.valid(v)

@@ -343,6 +343,8 @@ func (ix *Index) Similarities() []int {
 }
 
 // isDeleted reads the deletion bit of id.
+//
+//tpp:hotpath
 func (ix *Index) isDeleted(id graph.EdgeID) bool {
 	return ix.deleted[uint(id)/64]&(1<<(uint(id)%64)) != 0
 }
@@ -350,6 +352,8 @@ func (ix *Index) isDeleted(id graph.EdgeID) bool {
 // GainID returns Δ_p for the edge with the given id: the number of alive
 // instances its deletion would break (exact because f is modular-per-
 // instance once the instance set is fixed). A deleted edge's gain is 0.
+//
+//tpp:hotpath
 func (ix *Index) GainID(id graph.EdgeID) int { return int(ix.gain[id]) }
 
 // Gain is GainID keyed by edge; unknown edges have zero gain.
@@ -366,6 +370,8 @@ func (ix *Index) Gain(p graph.Edge) int {
 // containing it. The paper's Δ_p^t = within + (total − within)/C; with C
 // large this is a lexicographic (within, total) ordering, which is how we
 // compare.
+//
+//tpp:hotpath
 func (ix *Index) GainForTargetID(id graph.EdgeID, ti int) (within, total int) {
 	for _, instID := range ix.instIDs[ix.instStart[id]:ix.instStart[id+1]] {
 		in := &ix.inst[instID]
@@ -394,6 +400,8 @@ func (ix *Index) GainForTarget(p graph.Edge, ti int) (within, total int) {
 // total), or (nil, 0) when the edge touches no alive instance — without
 // allocating either way. buf is only zeroed when the edge is live, so
 // callers must not read it when nil is returned.
+//
+//tpp:hotpath
 func (ix *Index) GainVectorIDInto(id graph.EdgeID, buf []int) (perTarget []int, total int) {
 	for _, instID := range ix.instIDs[ix.instStart[id]:ix.instStart[id+1]] {
 		in := &ix.inst[instID]
@@ -441,6 +449,8 @@ func (ix *Index) Deleted(p graph.Edge) bool {
 // per-edge gains and their heap entries. It returns the number of instances
 // broken (the realised Δf). Deleting an edge twice is an error in the
 // caller; the second call returns 0.
+//
+//tpp:hotpath
 func (ix *Index) DeleteEdgeID(id graph.EdgeID) int {
 	if ix.isDeleted(id) {
 		return 0
@@ -508,6 +518,8 @@ func (ix *Index) Reset() {
 // buf in ascending id (canonical) order and returns it. A deleted edge
 // always has zero gain, so the gain filter alone is the full condition.
 // With a reused buf the iteration allocates nothing.
+//
+//tpp:hotpath
 func (ix *Index) AppendCandidateIDs(buf []graph.EdgeID) []graph.EdgeID {
 	for id := range ix.gain {
 		if ix.gain[id] > 0 {
@@ -558,6 +570,8 @@ func (ix *Index) InstancesOfTarget(ti int) []Instance {
 // ties broken by id, i.e. canonical edge order — plus its gain. It is a
 // heap peek: O(1), allocation-free; the O(log E) maintenance happened in
 // DeleteEdgeID. ok is false when every remaining gain is zero.
+//
+//tpp:hotpath
 func (ix *Index) ArgmaxGainID() (best graph.EdgeID, bestGain int, ok bool) {
 	if len(ix.heap) == 0 {
 		return 0, 0, false
@@ -584,6 +598,8 @@ func (ix *Index) ArgmaxGain() (best graph.Edge, bestGain int, ok bool) {
 // decrease can be fixed in place with a sift-down.
 
 // heapBetter reports whether a outranks b.
+//
+//tpp:hotpath
 func (ix *Index) heapBetter(a, b graph.EdgeID) bool {
 	ga, gb := ix.gain[a], ix.gain[b]
 	if ga != gb {
@@ -607,6 +623,7 @@ func (ix *Index) heapInit() {
 	}
 }
 
+//tpp:hotpath
 func (ix *Index) heapSwap(i, j int) {
 	h := ix.heap
 	h[i], h[j] = h[j], h[i]
@@ -614,6 +631,7 @@ func (ix *Index) heapSwap(i, j int) {
 	ix.heapPos[h[j]] = int32(j)
 }
 
+//tpp:hotpath
 func (ix *Index) heapSiftDown(i int) {
 	n := len(ix.heap)
 	for {

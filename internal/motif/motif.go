@@ -135,6 +135,8 @@ func EnumerateTargetScratch(g *graph.Graph, pattern Pattern, t graph.Edge, sc *S
 // graph's sorted neighbor rows, calls visit (when non-nil) per instance,
 // and returns the instance count. Keeping one kernel guarantees Count and
 // EnumerateTarget can never disagree.
+//
+//tpp:hotpath
 func enumerate(g *graph.Graph, pattern Pattern, t graph.Edge, sc *Scratch, visit func(edges []graph.Edge)) int {
 	u, v := t.U, t.V
 	n := 0
@@ -252,6 +254,8 @@ func Count(g *graph.Graph, pattern Pattern, t graph.Edge) int {
 // CountScratch is Count with caller-owned scratch buffers — allocation-free
 // once the scratch is warm. This is what the recount greedy loops pay per
 // candidate per step.
+//
+//tpp:hotpath
 func CountScratch(g *graph.Graph, pattern Pattern, t graph.Edge, sc *Scratch) int {
 	return enumerate(g, pattern, t, sc, nil)
 }
@@ -266,6 +270,8 @@ func CountAll(g *graph.Graph, pattern Pattern, targets []graph.Edge) (total int,
 // CountAllScratch writes the per-target counts into perTarget (len must be
 // len(targets)) and returns the total, reusing the caller's scratch —
 // the allocation-free form of CountAll.
+//
+//tpp:hotpath
 func CountAllScratch(g *graph.Graph, pattern Pattern, targets []graph.Edge, sc *Scratch, perTarget []int) (total int) {
 	for i, t := range targets {
 		c := enumerate(g, pattern, t, sc, nil)
@@ -277,6 +283,8 @@ func CountAllScratch(g *graph.Graph, pattern Pattern, targets []graph.Edge, sc *
 
 // CountTotalScratch returns Σ_t s(·, t) without materialising per-target
 // counts — the cheapest recount form, used by the SGB gain scans.
+//
+//tpp:hotpath
 func CountTotalScratch(g *graph.Graph, pattern Pattern, targets []graph.Edge, sc *Scratch) (total int) {
 	for _, t := range targets {
 		total += enumerate(g, pattern, t, sc, nil)

@@ -170,6 +170,9 @@ func (r *recountEvaluator) similarities() []int { return r.per }
 
 func (r *recountEvaluator) interner() *graph.Interner { return r.in }
 
+// gain is one paper-cost probe: delete, recount, restore.
+//
+//tpp:hotpath
 func (r *recountEvaluator) gain(p graph.EdgeID) int {
 	e := r.in.Edge(p)
 	if !r.g.HasEdgeE(e) {
@@ -181,6 +184,9 @@ func (r *recountEvaluator) gain(p graph.EdgeID) int {
 	return r.total - after
 }
 
+// gainVector is gain split per target, written into the caller's buf.
+//
+//tpp:hotpath
 func (r *recountEvaluator) gainVector(p graph.EdgeID, buf []int) ([]int, int) {
 	e := r.in.Edge(p)
 	if !r.g.HasEdgeE(e) {
@@ -199,6 +205,9 @@ func (r *recountEvaluator) gainVector(p graph.EdgeID, buf []int) ([]int, int) {
 	return buf, total
 }
 
+// candidates appends the current candidate ids to buf in canonical order.
+//
+//tpp:hotpath
 func (r *recountEvaluator) candidates(buf []graph.EdgeID) []graph.EdgeID {
 	if r.scope == ScopeAllEdges {
 		// Every interned edge still present in the working graph, ascending
@@ -213,6 +222,7 @@ func (r *recountEvaluator) candidates(buf []graph.EdgeID) []graph.EdgeID {
 	// Lemma 5: only edges of currently existing target subgraphs can break
 	// target subgraphs. Re-enumerate on the current graph, dedup by id.
 	for _, t := range r.targets {
+		//lint:hotalloc-ok one visitor closure per scan, not per instance
 		motif.EnumerateTargetScratch(r.g, r.pattern, t, &r.sc, func(edges []graph.Edge) {
 			for _, e := range edges {
 				r.seen[r.in.ID(e)] = true
@@ -228,6 +238,9 @@ func (r *recountEvaluator) candidates(buf []graph.EdgeID) []graph.EdgeID {
 	return buf
 }
 
+// delete commits a deletion and folds the recount into the running totals.
+//
+//tpp:hotpath
 func (r *recountEvaluator) delete(p graph.EdgeID) int {
 	if !r.g.RemoveEdgeE(r.in.Edge(p)) {
 		return 0

@@ -146,6 +146,8 @@ type gainItem struct {
 type gainHeap struct{ items []gainItem }
 
 func (h *gainHeap) Len() int { return len(h.items) }
+
+//tpp:hotpath
 func (h *gainHeap) Less(i, j int) bool {
 	a, b := h.items[i], h.items[j]
 	if a.gain != b.gain {
@@ -153,6 +155,8 @@ func (h *gainHeap) Less(i, j int) bool {
 	}
 	return a.id < b.id
 }
+
+//tpp:hotpath
 func (h *gainHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
 func (h *gainHeap) Push(x interface{}) { h.items = append(h.items, x.(gainItem)) }
 func (h *gainHeap) Pop() interface{} {
