@@ -55,6 +55,10 @@ type serverStats struct {
 	nodesRemoved   atomic.Int64 // nodes removed by deltas across all sessions
 	targetsAdded   atomic.Int64 // target links added by deltas
 	targetsDropped atomic.Int64 // target links dropped by deltas
+
+	warmRuns      atomic.Int64 // selections served by warm-start replay
+	coldRuns      atomic.Int64 // selections that ran cold (first runs and fallbacks)
+	warmFallbacks atomic.Int64 // warm attempts abandoned for a cold re-run
 }
 
 // record folds one finished session into the aggregate counters.
@@ -65,6 +69,9 @@ func (st *serverStats) record(session *tpp.Protector) {
 		st.enumNanos.Add(ns)
 		st.lastEnumNanos.Store(ns)
 	}
+	st.warmRuns.Add(int64(session.WarmRuns()))
+	st.coldRuns.Add(int64(session.ColdRuns()))
+	st.warmFallbacks.Add(int64(session.WarmFallbacks()))
 }
 
 // defaultMaxScale admits the paper's full-size DBLP stand-in (317080
@@ -169,9 +176,13 @@ type protectResponse struct {
 	InitialSimilarity int         `json:"initial_similarity"`
 	FinalSimilarity   int         `json:"final_similarity"`
 	FullProtection    bool        `json:"full_protection"`
-	SimilarityTrace   []int       `json:"similarity_trace"`
-	ElapsedMS         float64     `json:"elapsed_ms"`
-	ReleasedEdges     [][2]string `json:"released_edges,omitempty"`
+	// WarmStart reports whether the selection was served by warm-start
+	// replay from the session's previous run (identical result, less work).
+	// Always false on the one-shot path — there is no previous run.
+	WarmStart       bool        `json:"warm_start"`
+	SimilarityTrace []int       `json:"similarity_trace"`
+	ElapsedMS       float64     `json:"elapsed_ms"`
+	ReleasedEdges   [][2]string `json:"released_edges,omitempty"`
 }
 
 type errorResponse struct {
@@ -251,6 +262,7 @@ func (s *Server) handleProtect(w http.ResponseWriter, r *http.Request) {
 		InitialSimilarity: res.SimilarityTrace[0],
 		FinalSimilarity:   res.FinalSimilarity(),
 		FullProtection:    res.FullProtection(),
+		WarmStart:         res.WarmStart,
 		SimilarityTrace:   res.SimilarityTrace,
 		ElapsedMS:         float64(res.Elapsed.Microseconds()) / 1000,
 	}
@@ -301,6 +313,14 @@ type statsResponse struct {
 	TargetsAdded   int64 `json:"targets_added"`
 	TargetsDropped int64 `json:"targets_dropped"`
 
+	// Warm-start selection counters across all sessions. warm_runs over
+	// warm_runs+cold_runs is the steady-state hit rate; warm_fallbacks counts
+	// warm attempts abandoned (perturbation past threshold or replay
+	// divergence) that re-ran cold and are already included in cold_runs.
+	WarmRuns      int64 `json:"warm_runs"`
+	ColdRuns      int64 `json:"cold_runs"`
+	WarmFallbacks int64 `json:"warm_fallbacks"`
+
 	MaxWorkers          int `json:"max_workers"`
 	MaxConcurrentInUse  int `json:"max_concurrent_in_use"`
 	MaxConcurrentConfig int `json:"max_concurrent_config"`
@@ -324,6 +344,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		NodesRemoved:        s.stats.nodesRemoved.Load(),
 		TargetsAdded:        s.stats.targetsAdded.Load(),
 		TargetsDropped:      s.stats.targetsDropped.Load(),
+		WarmRuns:            s.stats.warmRuns.Load(),
+		ColdRuns:            s.stats.coldRuns.Load(),
+		WarmFallbacks:       s.stats.warmFallbacks.Load(),
 		MaxWorkers:          runtime.GOMAXPROCS(0),
 		MaxConcurrentInUse:  len(s.sem),
 		MaxConcurrentConfig: cap(s.sem),

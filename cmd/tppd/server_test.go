@@ -184,10 +184,12 @@ func TestProtectMalformedJSON(t *testing.T) {
 
 func TestProtectDeadlineMapsToGatewayTimeout(t *testing.T) {
 	ts := newTestServer(t)
-	// A 1 ms budget cannot cover generating and indexing a 20k-node graph,
-	// so the selection context expires and the service reports 504.
+	// A 1 ms budget cannot cover generating and indexing a 200k-node graph.
+	// The scale is deliberately huge: the deadline timer can fire late on a
+	// loaded machine, and the work must still be in flight when it does, so
+	// the selection context expires and the service reports 504.
 	resp, body := postProtect(t, ts, protectRequest{
-		Dataset:       &datasetSpec{Name: "dblp", Scale: 20000, Seed: 2},
+		Dataset:       &datasetSpec{Name: "dblp", Scale: 200000, Seed: 2},
 		SampleTargets: 3,
 		TimeoutMS:     1,
 		OmitReleased:  true,

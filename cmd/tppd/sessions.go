@@ -44,8 +44,11 @@ type sessionRecord struct {
 
 	// Last values folded into the aggregate stats, so repeated protect
 	// calls on the same session add only the increment.
-	statBuilds int64
-	statEnumNs int64
+	statBuilds    int64
+	statEnumNs    int64
+	statWarm      int64
+	statCold      int64
+	statFallbacks int64
 }
 
 // sessionStore owns the named sessions and their idle-TTL eviction.
@@ -678,6 +681,7 @@ func (s *Server) handleSessionProtect(w http.ResponseWriter, r *http.Request) {
 		InitialSimilarity: res.SimilarityTrace[0],
 		FinalSimilarity:   res.FinalSimilarity(),
 		FullProtection:    res.FullProtection(),
+		WarmStart:         res.WarmStart,
 		SimilarityTrace:   res.SimilarityTrace,
 		ElapsedMS:         float64(res.Elapsed.Microseconds()) / 1000,
 	}
@@ -701,6 +705,13 @@ func (s *Server) recordSessionStats(rec *sessionRecord) {
 		s.stats.lastEnumNanos.Store(ns - rec.statEnumNs)
 	}
 	rec.statBuilds, rec.statEnumNs = builds, ns
+	warm := int64(rec.session.WarmRuns())
+	cold := int64(rec.session.ColdRuns())
+	falls := int64(rec.session.WarmFallbacks())
+	s.stats.warmRuns.Add(warm - rec.statWarm)
+	s.stats.coldRuns.Add(cold - rec.statCold)
+	s.stats.warmFallbacks.Add(falls - rec.statFallbacks)
+	rec.statWarm, rec.statCold, rec.statFallbacks = warm, cold, falls
 }
 
 func writeSessionNotFound(w http.ResponseWriter, id string) {

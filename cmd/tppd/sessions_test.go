@@ -455,3 +455,96 @@ func TestSessionDeltaV2Rejections(t *testing.T) {
 		t.Fatalf("protect after rejections: status %d: %s", resp.StatusCode, body)
 	}
 }
+
+// TestSessionWarmStartStats pins the warm-start observability surface:
+// protect responses carry warm_start, and GET /v1/stats aggregates
+// warm_runs / cold_runs / warm_fallbacks across sessions.
+func TestSessionWarmStartStats(t *testing.T) {
+	_, ts := newSessionTestServer(t, 0)
+	id := createQuickstartSession(t, ts)
+
+	protect := func(step string) protectResponse {
+		t.Helper()
+		resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/protect", sessionProtectRequest{})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", step, resp.StatusCode, body)
+		}
+		var out protectResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if out := protect("first protect"); out.WarmStart {
+		t.Fatalf("first protect claims warm start: %+v", out)
+	}
+	// An unchanged session replays its previous selection warm.
+	if out := protect("second protect"); !out.WarmStart {
+		t.Fatalf("repeat protect on unchanged session did not warm-start: %+v", out)
+	}
+	// A delta either warm-starts the next protect or falls back cold —
+	// both legal; either way the counters must account for the run.
+	if resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/delta", deltaRequest{
+		Insert: [][2]string{{"1", "7"}},
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta: status %d: %s", resp.StatusCode, body)
+	}
+	protect("protect after delta")
+
+	resp, body := doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d: %s", resp.StatusCode, body)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.WarmRuns < 1 {
+		t.Fatalf("stats warm_runs = %d, want >= 1: %s", st.WarmRuns, body)
+	}
+	if st.ColdRuns < 1 {
+		t.Fatalf("stats cold_runs = %d, want >= 1: %s", st.ColdRuns, body)
+	}
+	if st.WarmRuns+st.ColdRuns != 3 {
+		t.Fatalf("stats warm_runs+cold_runs = %d+%d, want 3 protects: %s", st.WarmRuns, st.ColdRuns, body)
+	}
+	if st.WarmFallbacks < 0 || st.WarmFallbacks > st.ColdRuns {
+		t.Fatalf("stats warm_fallbacks = %d out of range (cold_runs %d): %s", st.WarmFallbacks, st.ColdRuns, body)
+	}
+
+	// The raw JSON must spell the documented field names.
+	var raw map[string]any
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"warm_runs", "cold_runs", "warm_fallbacks"} {
+		if _, ok := raw[key]; !ok {
+			t.Fatalf("stats response missing %q: %s", key, body)
+		}
+	}
+
+	// The one-shot path never warm-starts but still counts a cold run.
+	resp, body = postProtect(t, ts, protectRequest{
+		Edges:   quickstartEdges,
+		Targets: [][2]string{{"0", "5"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("one-shot: status %d: %s", resp.StatusCode, body)
+	}
+	var oneShot protectResponse
+	if err := json.Unmarshal(body, &oneShot); err != nil {
+		t.Fatal(err)
+	}
+	if oneShot.WarmStart {
+		t.Fatalf("one-shot protect claims warm start: %+v", oneShot)
+	}
+	if _, body := doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil); true {
+		var st2 statsResponse
+		if err := json.Unmarshal(body, &st2); err != nil {
+			t.Fatal(err)
+		}
+		if st2.ColdRuns != st.ColdRuns+1 {
+			t.Fatalf("one-shot cold run not counted: %d -> %d", st.ColdRuns, st2.ColdRuns)
+		}
+	}
+}

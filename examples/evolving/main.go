@@ -77,6 +77,30 @@ func main() {
 			rep.Targets, len(res.Protectors), res.FinalSimilarity())
 	}
 
+	// Steady state: the graph keeps drifting in small steps and the session
+	// re-protects after every delta. Here the warm-start engine pays off —
+	// each Run replays the previous protector sequence and re-verifies it
+	// against the delta's touched-edge set instead of re-selecting from
+	// scratch; a run that diverges finishes cold from the verified prefix.
+	fmt.Println("\nsteady state: 20 rounds of 8-event deltas, re-protecting after each")
+	warmBefore, coldBefore := session.WarmRuns(), session.ColdRuns()
+	hits := 0
+	for round := 0; round < 20; round++ {
+		if _, err := session.Apply(ctx, dynamic.Delta(churn.Next(8))); err != nil {
+			log.Fatal(err)
+		}
+		res, err := session.Run(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.WarmStart {
+			hits++
+		}
+	}
+	fmt.Printf("warm-start hits: %d/20 rounds replayed in full; steady-state selections %d warm / %d cold (session totals: %d warm, %d cold, %d fallbacks)\n",
+		hits, session.WarmRuns()-warmBefore, session.ColdRuns()-coldBefore,
+		session.WarmRuns(), session.ColdRuns(), session.WarmFallbacks())
+
 	fmt.Printf("\nafter %d deltas: index enumerations %d (the incremental path never rebuilt)\n",
 		session.DeltasApplied(), session.IndexBuilds())
 	fmt.Printf("total delta-apply time %v (first apply includes the one-time copy-on-write graph clone) vs %v of enumeration a rebuild-per-delta design would have re-paid %d times\n",

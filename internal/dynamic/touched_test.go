@@ -1,0 +1,120 @@
+package dynamic
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/motif"
+)
+
+// TestTouchedEdgesCoverGainChanges pins the contract warm-started selection
+// rests on: after every applied mutation, ApplyStats.TouchedEdges must
+// contain every edge whose fully-alive gain differs between the old and the
+// new index (old spellings renamed through the node remap). The set is
+// allowed to be conservative — it may name unchanged edges — but an edge it
+// omits must provably keep its gain, including edges that dropped out of the
+// interned universe (their new gain is zero). The list must also arrive
+// sorted and canonical, which the warm engine's merge kernel assumes.
+func TestTouchedEdgesCoverGainChanges(t *testing.T) {
+	for _, pattern := range []motif.Pattern{motif.Triangle, motif.Rectangle, motif.RecTri} {
+		pattern := pattern
+		t.Run(pattern.String(), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(41 * int64(pattern+2)))
+			g := gen.BarabasiAlbertTriad(140, 3, 0.4, rng)
+			targets := datasets.SampleTargets(g, 8, rng)
+			churn := gen.NewMutationChurn(g, targets, gen.DefaultChurnRates(), rng)
+
+			phase1 := g.Clone()
+			phase1.RemoveEdges(targets)
+			ix, err := motif.NewIndex(phase1, pattern, targets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step < 15; step++ {
+				// Snapshot the fully-alive gains over the old universe, keyed
+				// by old spelling.
+				oldIn := ix.Interner()
+				oldGains := make(map[graph.Edge]int, oldIn.NumEdges())
+				for id := 0; id < oldIn.NumEdges(); id++ {
+					oldGains[oldIn.Edge(graph.EdgeID(id))] = ix.GainID(graph.EdgeID(id))
+				}
+
+				d := Delta(churn.Next(1 + rng.Intn(8)))
+				d, err := d.Canonicalize()
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				if err := d.Validate(phase1, ix.Targets()); err != nil {
+					t.Fatalf("step %d: validate %+v: %v", step, d, err)
+				}
+				remap := d.ApplyToGraph(phase1)
+				st, err := ix.ApplyMutation(phase1, motif.Mutation{
+					Inserted:    d.Insert,
+					Removed:     d.Remove,
+					AddTargets:  d.AddTargets,
+					DropTargets: d.DropTargets,
+					Remap:       remap,
+				})
+				if err != nil {
+					t.Fatalf("step %d: apply %+v: %v", step, d, err)
+				}
+
+				if !slices.IsSortedFunc(st.TouchedEdges, func(a, b graph.Edge) int {
+					if a == b {
+						return 0
+					}
+					if a.Less(b) {
+						return -1
+					}
+					return 1
+				}) {
+					t.Fatalf("step %d: touched edges not in canonical order: %v", step, st.TouchedEdges)
+				}
+				touched := make(map[graph.Edge]bool, len(st.TouchedEdges))
+				for _, e := range st.TouchedEdges {
+					if !e.Canonical() {
+						t.Fatalf("step %d: non-canonical touched edge %v", step, e)
+					}
+					if touched[e] {
+						t.Fatalf("step %d: duplicate touched edge %v", step, e)
+					}
+					touched[e] = true
+				}
+
+				// Rename the old snapshot; spellings that lost an endpoint
+				// are out of every universe and out of scope.
+				renamed := make(map[graph.Edge]int, len(oldGains))
+				for e, gn := range oldGains {
+					if remap != nil {
+						if remap[e.U] == graph.NoNode || remap[e.V] == graph.NoNode {
+							continue
+						}
+						e = graph.NewEdge(remap[e.U], remap[e.V])
+					}
+					renamed[e] = gn
+				}
+
+				requireTouched := func(e graph.Edge, old, now int) {
+					if old != now && !touched[e] {
+						t.Fatalf("step %d: edge %v gain changed %d -> %d but is not in TouchedEdges (%d reported) for delta %+v",
+							step, e, old, now, len(st.TouchedEdges), d)
+					}
+				}
+				newIn := ix.Interner()
+				for id := 0; id < newIn.NumEdges(); id++ {
+					e := newIn.Edge(graph.EdgeID(id))
+					requireTouched(e, renamed[e], ix.GainID(graph.EdgeID(id)))
+					delete(renamed, e)
+				}
+				for e, gn := range renamed {
+					requireTouched(e, gn, 0) // left the universe: gain is now zero
+				}
+			}
+		})
+	}
+}

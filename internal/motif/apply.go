@@ -44,6 +44,16 @@ type ApplyStats struct {
 	// Instances is the live instance count after the apply, i.e. the new
 	// s(∅, T).
 	Instances int
+	// TouchedEdges is the conservative set of edges whose fully-alive gain
+	// the mutation may have changed, in canonical order and post-remap
+	// spelling: the edges of every killed, dropped or re-enumerated old
+	// instance plus the edges of every freshly enumerated one. An edge
+	// outside this set provably keeps its instance set verbatim (modulo the
+	// node renaming applied to both sides), which is what lets a warm-started
+	// selection re-verify only these edges instead of the whole universe.
+	// Edges that left the graph with a removed endpoint are omitted: they are
+	// no longer candidates and their gain is zero by construction.
+	TouchedEdges []graph.Edge
 	// Elapsed is the wall-clock cost of the apply.
 	Elapsed time.Duration
 }
@@ -190,11 +200,12 @@ func (ix *Index) ApplyMutation(g *graph.Graph, m Mutation) (ApplyStats, error) {
 	// flat state is compacted in place, linear in the universe and instance
 	// table.
 	if len(m.Inserted) == 0 && len(m.AddTargets) == 0 && len(m.DropTargets) == 0 && m.Remap == nil {
-		killed := ix.applyRemovals(m.Removed)
+		killed, touched := ix.applyRemovals(m.Removed)
 		return ApplyStats{
 			Removed:         len(m.Removed),
 			KilledInstances: killed,
 			Instances:       len(ix.inst),
+			TouchedEdges:    touched,
 			Elapsed:         time.Since(start),
 		}, nil
 	}
@@ -291,6 +302,10 @@ func (ix *Index) ApplyMutation(g *graph.Graph, m Mutation) (ApplyStats, error) {
 		enumerateInto(g, ix.pattern, newTargets, enumIdx, runtime.GOMAXPROCS(0), byTarget)
 	}
 
+	// Touched-edge collection must read the old instance table, so it runs
+	// before wireIncremental compacts it in place.
+	touched := ix.collectTouched(newIdx, enum, killed, &m, byTarget)
+
 	ix.wireIncremental(newTargets, newIdx, enum, killed, &m, byTarget)
 	return ApplyStats{
 		Inserted:         len(m.Inserted),
@@ -301,8 +316,51 @@ func (ix *Index) ApplyMutation(g *graph.Graph, m Mutation) (ApplyStats, error) {
 		KilledInstances:  nKilled,
 		DroppedInstances: nDropped,
 		Instances:        len(ix.inst),
+		TouchedEdges:     touched,
 		Elapsed:          time.Since(start),
 	}, nil
+}
+
+// collectTouched gathers ApplyStats.TouchedEdges for the full apply path:
+// the edges of every old instance that does not survive verbatim (killed by
+// a removal, dropped with its target, or replaced by a re-enumeration) plus
+// the edges of every freshly enumerated instance. Edges losing an endpoint
+// to the remap are skipped — they leave the universe and have zero gain
+// forever. The result is deduplicated in canonical order via the packed
+// encoding; only the handed-out slice is freshly allocated.
+func (ix *Index) collectTouched(newIdx []int, enum, killed []bool, m *Mutation, byTarget [][]rawInstance) []graph.Edge {
+	buf := ix.sc.touched[:0]
+	for i := range ix.inst {
+		in0 := &ix.inst[i]
+		if nt := newIdx[in0.target]; nt >= 0 && !enum[nt] && !killed[i] {
+			continue // survives verbatim: contributes the same gains as before
+		}
+		for _, id := range in0.edges[:in0.ne] {
+			e := ix.in.Edge(id)
+			if m.Remap != nil {
+				if m.Remap[e.U] == graph.NoNode || m.Remap[e.V] == graph.NoNode {
+					continue
+				}
+				e = m.rename(e)
+			}
+			buf = append(buf, graph.PackEdge(e))
+		}
+	}
+	for nt := range byTarget {
+		for _, r := range byTarget[nt] {
+			for _, e := range r.edges[:r.ne] {
+				buf = append(buf, graph.PackEdge(e))
+			}
+		}
+	}
+	slices.Sort(buf)
+	buf = slices.Compact(buf)
+	ix.sc.touched = buf
+	out := make([]graph.Edge, len(buf))
+	for i, p := range buf {
+		out[i] = graph.UnpackEdge(p)
+	}
+	return out
 }
 
 // respelledEdge marks, in wireIncremental's old→new edge-id table, a
@@ -492,8 +550,9 @@ func CanCreateInstances(g *graph.Graph, pattern Pattern, t, e graph.Edge) bool {
 // surviving universe is a monotone filter of it: the rebuild is linear
 // passes over the instance table and universe — no packed-edge sort, no
 // per-instance ID() lookups, and crucially no target re-enumeration. It
-// returns the number of instances killed.
-func (ix *Index) applyRemovals(removed []graph.Edge) int {
+// returns the number of instances killed plus the touched-edge set (the
+// deduplicated edges of the killed instances — see ApplyStats.TouchedEdges).
+func (ix *Index) applyRemovals(removed []graph.Edge) (int, []graph.Edge) {
 	kill := make([]bool, len(ix.inst))
 	nKilled := 0
 	for _, e := range removed {
@@ -512,7 +571,24 @@ func (ix *Index) applyRemovals(removed []graph.Edge) int {
 		// Nothing interned was removed; the rebuilt state is exactly the
 		// build-time state with protector deletions discarded.
 		ix.Reset()
-		return 0
+		return 0, nil
+	}
+	tbuf := ix.sc.touched[:0]
+	for i := range ix.inst {
+		if !kill[i] {
+			continue
+		}
+		in := &ix.inst[i]
+		for _, id := range in.edges[:in.ne] {
+			tbuf = append(tbuf, graph.PackEdge(ix.in.Edge(id)))
+		}
+	}
+	slices.Sort(tbuf)
+	tbuf = slices.Compact(tbuf)
+	ix.sc.touched = tbuf
+	touched := make([]graph.Edge, len(tbuf))
+	for i, p := range tbuf {
+		touched[i] = graph.UnpackEdge(p)
 	}
 
 	// Surviving per-edge incidence counts over the fully-alive state.
@@ -574,7 +650,7 @@ func (ix *Index) applyRemovals(removed []graph.Edge) int {
 	ix.alive = len(ix.inst)
 
 	ix.wireFlat()
-	return nKilled
+	return nKilled, touched
 }
 
 // insertTouches reports whether inserting the edge e could create an

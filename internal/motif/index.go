@@ -57,8 +57,15 @@ type Index struct {
 	// (gain desc, id asc). Gains only decrease under deletion, so
 	// maintenance is sift-down only; entries are never removed — spent
 	// edges sink with gain 0 and ArgmaxGain stops at a zero top.
-	heap    []graph.EdgeID
-	heapPos []int32 // id -> position in heap (every id is always present)
+	//
+	// The heap is maintained lazily: wireFlat, Reset and DeleteEdgeIDNoHeap
+	// mark it dirty instead of (re)heapifying, and the first ArgmaxGainID
+	// afterwards restores it in one O(E) pass. Consumers that never peek —
+	// the CELF lazy engine, CT/WT, warm-started replays — therefore skip
+	// heap maintenance entirely.
+	heap      []graph.EdgeID
+	heapPos   []int32 // id -> position in heap (every id is always present)
+	heapDirty bool    // heap order stale; rebuilt on next ArgmaxGainID
 
 	// Apply-path scratch, reused across ApplyMutation calls so a churny
 	// session settles into few allocations per delta. Index is not safe
@@ -82,6 +89,7 @@ type applyScratch struct {
 	kept        []uint64
 	extras      []uint64
 	fin         []graph.EdgeID
+	touched     []uint64
 }
 
 // scratchSlice returns buf resized to n, reallocating only on growth.
@@ -303,7 +311,7 @@ func (ix *Index) wireFlat() {
 	}
 
 	ix.heapPos = make([]int32, ne)
-	ix.heapInit()
+	ix.heapDirty = true // restored lazily by the next ArgmaxGainID
 }
 
 // Pattern returns the motif pattern the index was built for.
@@ -470,11 +478,29 @@ func (ix *Index) DeleteEdgeID(id graph.EdgeID) int {
 		for _, e := range in.edges[:in.ne] {
 			ix.gain[e]--
 			// Only this entry's key shrank, so one sift-down restores the
-			// heap property (a parent can only have grown relatively).
-			ix.heapSiftDown(int(ix.heapPos[e]))
+			// heap property (a parent can only have grown relatively). A
+			// dirty heap is rebuilt wholesale on the next peek, so touching
+			// it here would be wasted work.
+			if !ix.heapDirty {
+				ix.heapSiftDown(int(ix.heapPos[e]))
+			}
 		}
 	}
 	return broken
+}
+
+// DeleteEdgeIDNoHeap is DeleteEdgeID minus the gain-heap maintenance: it
+// marks the heap dirty and skips the per-incidence sift-downs, deferring the
+// whole repair to one O(E) rebuild at the next ArgmaxGainID. Callers that
+// know every upcoming argmax without peeking the heap — above all the
+// warm-start replay, which re-verifies a remembered selection against the
+// maintained gains — delete through here; similarities, gains and the
+// deletion bitset stay exactly as maintained as with DeleteEdgeID.
+//
+//tpp:hotpath
+func (ix *Index) DeleteEdgeIDNoHeap(id graph.EdgeID) int {
+	ix.heapDirty = true
+	return ix.DeleteEdgeID(id)
 }
 
 // DeleteEdge is DeleteEdgeID keyed by edge; unknown edges are a no-op.
@@ -510,7 +536,7 @@ func (ix *Index) Reset() {
 		ix.perTarget[in.target]++
 	}
 	ix.alive = len(ix.inst)
-	ix.heapInit()
+	ix.heapDirty = true // restored lazily by the next ArgmaxGainID
 }
 
 // AppendCandidateIDs appends the Lemma 5 restricted protector set — every
@@ -573,6 +599,9 @@ func (ix *Index) InstancesOfTarget(ti int) []Instance {
 //
 //tpp:hotpath
 func (ix *Index) ArgmaxGainID() (best graph.EdgeID, bestGain int, ok bool) {
+	if ix.heapDirty {
+		ix.heapInit()
+	}
 	if len(ix.heap) == 0 {
 		return 0, 0, false
 	}
@@ -608,9 +637,16 @@ func (ix *Index) heapBetter(a, b graph.EdgeID) bool {
 	return a < b
 }
 
-// heapInit (re)builds the heap over the whole interned universe in O(E).
+// heapInit (re)builds the heap over the whole interned universe in O(E) and
+// clears the dirty flag. This is the heap-restore kernel behind the lazy
+// maintenance contract: any number of Reset / DeleteEdgeIDNoHeap / apply
+// rewires cost one rebuild at the next peek. Steady state reuses the
+// existing arrays, so a restore allocates nothing.
+//
+//tpp:hotpath
 func (ix *Index) heapInit() {
 	if cap(ix.heap) < len(ix.gain) {
+		//lint:hotalloc-ok grows only when the universe does; restores reuse capacity
 		ix.heap = make([]graph.EdgeID, len(ix.gain))
 	}
 	ix.heap = ix.heap[:len(ix.gain)]
@@ -618,6 +654,7 @@ func (ix *Index) heapInit() {
 		ix.heap[id] = graph.EdgeID(id)
 		ix.heapPos[id] = int32(id)
 	}
+	ix.heapDirty = false // before the sift-downs: heapSwap may run now
 	for i := len(ix.heap)/2 - 1; i >= 0; i-- {
 		ix.heapSiftDown(i)
 	}

@@ -1,0 +1,92 @@
+package motif
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// warmIndexFixture builds a moderately dense index for the lazy-heap tests.
+func warmIndexFixture(t *testing.T, pattern Pattern) *Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	g := gen.BarabasiAlbertTriad(80, 3, 0.5, rng)
+	var targets []graph.Edge
+	for u := graph.NodeID(0); u < 6; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v > u {
+				targets = append(targets, graph.Edge{U: u, V: v})
+				break
+			}
+		}
+	}
+	phase1 := g.Clone()
+	phase1.RemoveEdges(targets)
+	ix, err := NewIndex(phase1, pattern, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// TestDeleteEdgeIDNoHeapParity drains two copies of the same index greedily —
+// one deleting through DeleteEdgeID (eager heap maintenance), one through
+// DeleteEdgeIDNoHeap with a heap rebuild forced by every ArgmaxGainID peek —
+// and requires identical selections, gains and similarity traces. It then
+// checks that Reset restores both to an identical fully-alive argmax.
+func TestDeleteEdgeIDNoHeapParity(t *testing.T) {
+	for _, pattern := range []Pattern{Triangle, Rectangle} {
+		t.Run(pattern.String(), func(t *testing.T) {
+			eager := warmIndexFixture(t, pattern)
+			lazy := warmIndexFixture(t, pattern)
+			for step := 0; ; step++ {
+				wantID, wantGain, wantOK := eager.ArgmaxGainID()
+				gotID, gotGain, gotOK := lazy.ArgmaxGainID()
+				if wantOK != gotOK || wantID != gotID || wantGain != gotGain {
+					t.Fatalf("step %d: argmax (%v,%d,%v) with lazy deletes, want (%v,%d,%v)",
+						step, gotID, gotGain, gotOK, wantID, wantGain, wantOK)
+				}
+				if !wantOK {
+					break
+				}
+				if a, b := eager.DeleteEdgeID(wantID), lazy.DeleteEdgeIDNoHeap(gotID); a != b {
+					t.Fatalf("step %d: broke %d instances with lazy delete, want %d", step, b, a)
+				}
+				if eager.TotalSimilarity() != lazy.TotalSimilarity() {
+					t.Fatalf("step %d: similarity %d, want %d", step, lazy.TotalSimilarity(), eager.TotalSimilarity())
+				}
+			}
+			eager.Reset()
+			lazy.Reset()
+			wantID, wantGain, _ := eager.ArgmaxGainID()
+			gotID, gotGain, _ := lazy.ArgmaxGainID()
+			if wantID != gotID || wantGain != gotGain {
+				t.Fatalf("post-reset argmax (%v,%d), want (%v,%d)", gotID, gotGain, wantID, wantGain)
+			}
+		})
+	}
+}
+
+// TestHeapRestoreZeroAlloc pins the heap-restore kernel's steady-state
+// allocation contract: once the heap arrays exist, any number of
+// dirty-marking operations (no-heap deletes, resets) followed by a restoring
+// peek allocates nothing.
+func TestHeapRestoreZeroAlloc(t *testing.T) {
+	ix := warmIndexFixture(t, Triangle)
+	id, _, ok := ix.ArgmaxGainID() // size the heap arrays once
+	if !ok {
+		t.Fatal("fixture has no candidates")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		ix.DeleteEdgeIDNoHeap(id)
+		ix.Reset()
+		if _, _, ok := ix.ArgmaxGainID(); !ok {
+			t.Fatal("argmax lost candidates")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("heap restore cycle allocates %v times per run, want 0", allocs)
+	}
+}

@@ -121,10 +121,19 @@ func (pr *Protector) Apply(ctx context.Context, d dynamic.Delta) (*DeltaReport, 
 			// index no longer matches the graph, so drop it and let the
 			// next Run rebuild from scratch.
 			pr.ix = nil
+			pr.warm.invalidate()
 			return nil, err
 		}
 		rep.Incremental = true
 		rep.IndexStats = st
+		// Keep the warm-start snapshot tracking the mutated session: rename
+		// it under the node remap, fold in this delta's touched edges, and
+		// re-resolve against the index's fresh interner.
+		pr.warm.absorb(st.TouchedEdges, remap, pr.ix)
+	} else {
+		// No index means no touched-edge accounting for this delta; a stale
+		// snapshot could not be re-verified, so drop it.
+		pr.warm.invalidate()
 	}
 	rep.Elapsed = time.Since(start)
 	pr.deltasApplied.Add(1)

@@ -137,6 +137,13 @@ type Result struct {
 	// protector was committed, so one run yields the whole running-time-
 	// versus-budget curve.
 	StepElapsed []time.Duration
+	// WarmStart reports whether a Protector session served this run from its
+	// warm-start engine — replaying and re-verifying the previous run's
+	// selection against the incrementally maintained index — instead of a
+	// cold greedy run. Warm and cold selections are bit-identical (method
+	// name, protectors, similarity trace, per-target finals); the flag is
+	// observability only, and timings are the only other thing that differs.
+	WarmStart bool
 }
 
 // FinalSimilarity returns s(P, T) after all deletions.

@@ -46,10 +46,14 @@ type Protector struct {
 	ix             *motif.Index  // built on first indexed run, then reused
 	phase1         *graph.Graph  // cached phase-1 graph backing ix; mutated by Apply
 	ownsGraph      bool          // problem.G detached from the caller's graph (first Apply)
+	warm           warmState     // warm-start snapshot; serialised on runSlot like ix
 	indexBuilds    atomic.Int64  // number of motif.NewIndex calls (observability)
 	indexBuildTime atomic.Int64  // total nanoseconds spent enumerating indexes
 	deltasApplied  atomic.Int64  // number of Apply calls that committed a delta
 	deltaTime      atomic.Int64  // total nanoseconds spent applying deltas
+	warmRuns       atomic.Int64  // SGB selections served by warm-start replay
+	coldRuns       atomic.Int64  // SGB selections run cold (incl. fallbacks)
+	warmFallbacks  atomic.Int64  // warm attempts abandoned (threshold/divergence)
 }
 
 // settings is the resolved option set for a session or a single run.
@@ -63,6 +67,7 @@ type settings struct {
 	workers  int
 	seed     int64
 	progress ProgressFunc
+	warmOff  bool
 }
 
 func defaultSettings() settings {
@@ -149,6 +154,15 @@ func WithWorkers(n int) Option { return func(s *settings) { s.workers = n } }
 // WithSeed seeds the random baselines. Only MethodRD and MethodRDT consume
 // randomness; the seed is ignored by the deterministic greedy methods.
 func WithSeed(seed int64) Option { return func(s *settings) { s.seed = seed } }
+
+// WithWarmStart toggles the warm-start selection engine (default on): with
+// it on, an SGB run after one or more Applies replays the previous run's
+// selection and re-verifies it against the incrementally maintained index
+// instead of selecting from scratch, falling back to a cold run whenever the
+// replay cannot be proven exact. Selections are bit-identical either way —
+// the toggle trades the snapshot bookkeeping for reproducing pure cold-run
+// timings (benchmark baselines). Usable per session or per run.
+func WithWarmStart(on bool) Option { return func(s *settings) { s.warmOff = !on } }
 
 // WithProgress installs a per-step callback (see ProgressFunc). Useful for
 // live reporting and for cancelling a run from within via its context.
@@ -248,32 +262,36 @@ func (pr *Protector) Run(ctx context.Context, opts ...Option) (*Result, error) {
 	}
 	opt := Options{Engine: s.engine, Scope: s.scope}
 
+	if s.method == MethodSGB {
+		// Budget 0 = critical budget k*: the unbounded SGB run is itself the
+		// answer (greedy stops exactly when every gain is zero). All SGB
+		// selection — warm or cold — dispatches through sgbSession.
+		budget := s.budget
+		if budget <= 0 {
+			budget = maxBudget
+		}
+		return pr.sgbSession(&s, opt, env, budget)
+	}
+
 	budget := s.budget
 	if budget <= 0 {
-		// Critical budget k*: run SGB unbounded; for MethodSGB that run
-		// already is the answer, otherwise its length becomes the budget.
-		// For the other methods this is only a sizing probe, so it must not
-		// leak its steps to the caller's progress callback.
+		// Critical budget k* for the other methods: an unbounded SGB sizing
+		// probe whose length becomes the budget. It must not leak its steps
+		// to the caller's progress callback; being an SGB selection, it
+		// warm-starts like one.
 		probeEnv := env
-		if s.method != MethodSGB {
-			probeEnv.progress = nil
-		}
-		kstar, res, err := criticalBudget(pr.problem, opt, probeEnv)
+		probeEnv.progress = nil
+		probe, err := pr.sgbSession(&s, opt, probeEnv, maxBudget)
 		if err != nil {
 			return nil, err
 		}
-		if s.method == MethodSGB {
-			return res, nil
-		}
-		budget = kstar
+		budget = len(probe.Protectors)
 		if env.ix != nil {
 			env.ix.Reset()
 		}
 	}
 
 	switch s.method {
-	case MethodSGB:
-		return sgbGreedy(pr.problem, budget, opt, env)
 	case MethodCT, MethodWT:
 		budgets, err := pr.divide(s.division, budget, env)
 		if err != nil {
