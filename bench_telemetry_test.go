@@ -1,0 +1,79 @@
+package repro
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/telemetry"
+	"repro/internal/tpp"
+)
+
+// Telemetry overhead ablation: the steady-state delta→protect loop of an
+// evolving session, run bare versus with a full stage recorder (fanning
+// into registered stage histograms) on the context — the exact
+// instrumentation tppd threads through every request. Stage recording is a
+// handful of atomic adds per pipeline phase and allocates nothing, so the
+// two sides must be within noise of each other; BENCH_telemetry.json
+// records the measured gap. The off-clock Apply is identical on both
+// sides; the timed section is the protection run, where every recorded
+// span lives.
+
+// benchObservedLoop is benchSteadyStateLoop's shape (Triangle, budget 32,
+// warm start on) with the instrumentation toggled instead of the engine.
+func benchObservedLoop(b *testing.B, instrumented bool) {
+	b.Helper()
+	ctx := context.Background()
+	if instrumented {
+		reg := telemetry.NewRegistry()
+		sink := telemetry.NewStageHistograms(reg, "tpp_stage_duration_seconds",
+			"Protect-pipeline stage latency.")
+		ctx = telemetry.NewContext(ctx, telemetry.NewStages(sink))
+	}
+	var (
+		session *tpp.Protector
+		churn   *gen.MutationChurn
+		err     error
+	)
+	const rebuildEvery = 256
+	rebuild := func() {
+		ds := datasets.DBLPSim(4000, 12)
+		rng := rand.New(rand.NewSource(99))
+		targets := datasets.SampleTargets(ds.Graph, 384, rng)
+		churn = gen.NewMutationChurn(ds.Graph, targets, gen.DefaultChurnRates(), rng)
+		session, err = tpp.New(ds.Graph, targets, tpp.WithBudget(32))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := session.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rebuild()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if i > 0 && i%rebuildEvery == 0 {
+			rebuild()
+		}
+		d := dynamic.Delta(churn.Next(8))
+		if _, err := session.Apply(ctx, d); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := session.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObservedProtect compares the steady-state loop bare and under
+// full stage instrumentation. CI runs both as a smoke test; the observed
+// side must stay within a few percent of off.
+func BenchmarkObservedProtect(b *testing.B) {
+	b.Run("observe=off", func(b *testing.B) { benchObservedLoop(b, false) })
+	b.Run("observe=on", func(b *testing.B) { benchObservedLoop(b, true) })
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/datasets"
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/telemetry"
+	"repro/internal/tpp"
+)
+
+// runStages is the pipeline-timing demo: it drives one evolving session
+// through an initial protect and a delta→protect churn loop with a stage
+// recorder on the context, then prints where the wall-clock time went —
+// enumeration vs scoring vs warm replay vs cold selection vs incremental
+// delta application. This is the same instrumentation tppd threads through
+// every request; here it is visible end to end on a reproducible workload.
+func runStages(out io.Writer, full bool, seed int64) error {
+	scale, targets, rounds, deltaSize := 2000, 96, 8, 16
+	if full {
+		scale, targets, rounds, deltaSize = 30000, 384, 24, 64
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	ds := datasets.DBLPSim(scale, seed)
+	tg := datasets.SampleTargets(ds.Graph, targets, rng)
+	session, err := tpp.New(ds.Graph, tg)
+	if err != nil {
+		return err
+	}
+
+	sp := telemetry.NewStages(nil)
+	ctx := telemetry.NewContext(context.Background(), sp)
+
+	// Round zero pays for enumeration and a cold selection; every churn
+	// round afterwards pays one incremental delta apply plus a warm (or,
+	// on divergence, cold) selection.
+	if _, err := session.Run(ctx); err != nil {
+		return err
+	}
+	churn := gen.NewMutationChurn(ds.Graph, tg, gen.DefaultChurnRates(), rng)
+	for i := 0; i < rounds; i++ {
+		if _, err := session.Apply(ctx, dynamic.Delta(churn.Next(deltaSize))); err != nil {
+			return err
+		}
+		if _, err := session.Run(ctx); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(out, "Pipeline stage breakdown — dblp-sim n=%d, %d targets, %d delta rounds of %d mutations\n",
+		scale, targets, rounds, deltaSize)
+	fmt.Fprintf(out, "%-12s %8s %12s %10s %7s\n", "stage", "spans", "total ms", "mean ms", "share")
+	total := sp.Total()
+	for i := 0; i < telemetry.NumStages; i++ {
+		st := telemetry.Stage(i)
+		calls, ns := sp.Calls(st), sp.Nanos(st)
+		var mean, share float64
+		if calls > 0 {
+			mean = float64(ns) / float64(calls) / 1e6
+		}
+		if total > 0 {
+			share = float64(ns) / float64(total) * 100
+		}
+		fmt.Fprintf(out, "%-12s %8d %12.2f %10.3f %6.1f%%\n",
+			st, calls, float64(ns)/1e6, mean, share)
+	}
+	fmt.Fprintf(out, "%-12s %8s %12.2f\n", "total", "", float64(total)/1e6)
+	fmt.Fprintf(out, "warm runs %d, cold runs %d, fallbacks %d\n",
+		session.WarmRuns(), session.ColdRuns(), session.WarmFallbacks())
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunStagesBreakdown runs the quick-scale stage demo and checks the
+// printed breakdown is structurally sound: exactly one enumeration, one
+// delta-apply span per churn round, and a selection span per protect call.
+func TestRunStagesBreakdown(t *testing.T) {
+	var buf strings.Builder
+	if err := runStages(&buf, false, 7); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"enumerate",
+		"score",
+		"warm_replay",
+		"cold_select",
+		"delta_apply",
+		"total",
+		"warm runs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+	// The quick workload runs 8 churn rounds: the delta_apply line must
+	// report exactly 8 spans, the enumerate line exactly 1.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		switch fields[0] {
+		case "enumerate":
+			if fields[1] != "1" {
+				t.Errorf("enumerate spans = %s, want 1:\n%s", fields[1], out)
+			}
+		case "delta_apply":
+			if fields[1] != "8" {
+				t.Errorf("delta_apply spans = %s, want 8:\n%s", fields[1], out)
+			}
+		}
+	}
+}

@@ -14,12 +14,20 @@
 //	POST   /v1/sessions/{id}/protect protect on the session's current graph
 //	DELETE /v1/sessions/{id}         delete a session
 //	GET    /v1/datasets              list the server-side datasets
-//	GET    /v1/stats                 service counters and timings
-//	GET    /healthz                  liveness probe
+//	GET    /v1/stats                 service counters and timings (JSON)
+//	GET    /metrics                  Prometheus text exposition
+//	GET    /v1/healthz               readiness probe (503 while draining)
+//	GET    /healthz                  liveness probe (always 200)
 //
 // Sessions keep their motif index warm across calls: deltas update it
 // incrementally (time proportional to the delta, not the graph) and idle
 // sessions are evicted after -session-ttl.
+//
+// Every request is logged through log/slog with a request id, the matched
+// route, the session and engine in play, status, latency and a per-stage
+// timing breakdown (enumerate / score / warm_replay / cold_select /
+// delta_apply). Routine requests log at debug; -log-level=debug shows
+// them, and requests slower than -slow-request are promoted to warnings.
 //
 // Example:
 //
@@ -39,8 +47,10 @@ package main
 import (
 	"context"
 	"errors"
+	_ "expvar" // registers /debug/vars on DefaultServeMux for -pprof
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -pprof
 	"os"
@@ -58,22 +68,38 @@ func main() {
 		reqTimeout    = flag.Duration("request-timeout", time.Minute, "per-request selection time cap")
 		maxScale      = flag.Int("max-dataset-scale", defaultMaxScale, "max node count for server-side dataset graphs")
 		sessionTTL    = flag.Duration("session-ttl", 30*time.Minute, "evict named sessions idle for longer (0 disables)")
-		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this address for profiling live sessions (empty disables)")
+		pprofAddr     = flag.String("pprof", "", "serve the debug listener (pprof, expvar, /metrics) on this address (empty disables)")
+		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn or error (debug shows every request)")
+		slowReq       = flag.Duration("slow-request", 2*time.Second, "log requests slower than this at warn with a stage breakdown (0 disables)")
 	)
 	flag.Parse()
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		log.Fatalf("tppd: -log-level: %v", err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
+	service := NewServer(*maxConcurrent, *maxBody, *reqTimeout, *maxScale, *sessionTTL)
+	service.ConfigureLogging(logger, *slowReq)
+
 	if *pprofAddr != "" {
-		// Profiling listens on its own address so /debug/pprof is never
-		// reachable through the service port.
+		// The debug listener gets its own address so /debug/pprof and
+		// /debug/vars are never reachable through the service port. The
+		// service port stays the scrape target for production Prometheus;
+		// /metrics is mirrored here only so a single debug port suffices
+		// when the service port is firewalled off.
 		go func() {
-			log.Printf("tppd: pprof listening on %s", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("tppd: pprof: %v", err)
+			debugMux := http.NewServeMux()
+			debugMux.Handle("/debug/", http.DefaultServeMux) // pprof + expvar
+			debugMux.Handle("/metrics", service.MetricsHandler())
+			log.Printf("tppd: debug listener (pprof, expvar, metrics) on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, debugMux); err != nil {
+				log.Printf("tppd: debug listener: %v", err)
 			}
 		}()
 	}
-
-	service := NewServer(*maxConcurrent, *maxBody, *reqTimeout, *maxScale, *sessionTTL)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           service.Handler(),
@@ -93,9 +119,11 @@ func main() {
 		// The listener died on its own (e.g. the address was taken).
 		log.Fatalf("tppd: %v", err)
 	case <-ctx.Done():
-		// Graceful drain: stop accepting, wait for in-flight selections
+		// Graceful drain: flip /v1/healthz to 503 so load balancers stop
+		// routing here, stop accepting, wait for in-flight selections
 		// (bounded), then stop the session janitor and release the named
 		// sessions before letting main return.
+		service.BeginDrain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -1,0 +1,372 @@
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/tpp"
+)
+
+// Observability plumbing for the daemon: every instrument the service
+// exports lives in one registry, registered once at construction under
+// stable names. Naming scheme:
+//
+//   - tppd_*  — HTTP/service-level metrics (requests, sessions, deltas)
+//   - tpp_*   — pipeline-level metrics shared with the library
+//     (tpp_stage_duration_seconds, fed through telemetry.Stages)
+//
+// Request-scoped state (the per-request stage recorder and the annotation
+// scope handlers fill in) travels via context from the instrument
+// middleware down into the handlers and the tpp session code.
+
+// routeOther labels requests that match no registered route (404s, bad
+// methods). Every series is pre-registered, so the request path never
+// takes the registry lock.
+const routeOther = "other"
+
+// routePatterns lists every route the per-route instruments are
+// pre-registered for. Keep in sync with Server.Handler's route table.
+var routePatterns = []string{
+	"POST /v1/protect",
+	"POST /v1/sessions",
+	"GET /v1/sessions/{id}",
+	"POST /v1/sessions/{id}/delta",
+	"POST /v1/sessions/{id}/protect",
+	"DELETE /v1/sessions/{id}",
+	"GET /v1/datasets",
+	"GET /v1/stats",
+	"GET /v1/healthz",
+	"GET /healthz",
+	"GET /metrics",
+	routeOther,
+}
+
+// statusClasses are the status-class label values, indexed by status/100-1.
+var statusClasses = [...]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// routeInstruments is the per-route instrument set.
+type routeInstruments struct {
+	latency *telemetry.Histogram
+	size    *telemetry.Histogram
+	class   [len(statusClasses)]*telemetry.Counter
+}
+
+// classCounter maps an HTTP status to its status-class counter.
+func (ri *routeInstruments) classCounter(status int) *telemetry.Counter {
+	i := status/100 - 1
+	if i < 0 || i >= len(statusClasses) {
+		i = 4 // treat garbage as 5xx: it is a server bug either way
+	}
+	return ri.class[i]
+}
+
+// serverMetrics owns every instrument the daemon registers. All fields are
+// fixed after newServerMetrics returns; the maps are read-only afterwards,
+// so concurrent request handling needs no locking to reach an instrument.
+type serverMetrics struct {
+	routes map[string]*routeInstruments
+
+	// stages aggregates per-stage pipeline timing across all requests; each
+	// request additionally gets its own telemetry.Stages recorder (sink =
+	// this) for its log breakdown.
+	stages *telemetry.StageHistograms
+
+	protectRequests *telemetry.Counter // protection runs accepted for processing
+	inflightRuns    *telemetry.Gauge   // protection runs executing right now
+
+	sessionsCreated *telemetry.Counter
+	sessionsClosed  *telemetry.Counter
+	sessionsEvicted *telemetry.Counter
+
+	deltasApplied *telemetry.Counter
+	deltaLatency  *telemetry.Histogram // full Apply wall time, handler-level
+
+	nodesAdded     *telemetry.Counter
+	nodesRemoved   *telemetry.Counter
+	targetsAdded   *telemetry.Counter
+	targetsDropped *telemetry.Counter
+
+	warmRuns      *telemetry.Counter
+	coldRuns      *telemetry.Counter
+	warmFallbacks *telemetry.Counter
+}
+
+// newServerMetrics registers the daemon's instrument set on reg. The
+// gauge callbacks read live server state (open sessions, semaphore
+// occupancy) at scrape time.
+func newServerMetrics(reg *telemetry.Registry, sessionsOpen, slotsInUse, slotsLimit func() float64) *serverMetrics {
+	m := &serverMetrics{routes: make(map[string]*routeInstruments, len(routePatterns))}
+	for _, route := range routePatterns {
+		ri := &routeInstruments{
+			latency: reg.Histogram("tppd_request_duration_seconds",
+				"HTTP request latency by route.",
+				telemetry.DurationBounds(), 1e9, telemetry.Label{Key: "route", Value: route}),
+			size: reg.Histogram("tppd_response_bytes",
+				"HTTP response body size by route.",
+				telemetry.SizeBounds(), 1, telemetry.Label{Key: "route", Value: route}),
+		}
+		for i, class := range statusClasses {
+			ri.class[i] = reg.Counter("tppd_requests_total",
+				"HTTP requests by route and status class.",
+				telemetry.Label{Key: "route", Value: route},
+				telemetry.Label{Key: "class", Value: class})
+		}
+		m.routes[route] = ri
+	}
+
+	m.stages = telemetry.NewStageHistograms(reg, "tpp_stage_duration_seconds",
+		"Protect-pipeline stage latency: enumerate, score, warm_replay, cold_select, delta_apply.")
+
+	m.protectRequests = reg.Counter("tppd_protect_requests_total",
+		"Protection runs accepted for processing (one-shot and session).")
+	m.inflightRuns = reg.Gauge("tppd_runs_inflight",
+		"Protection runs executing right now.")
+
+	m.sessionsCreated = reg.Counter("tppd_sessions_created_total", "Named sessions created.")
+	m.sessionsClosed = reg.Counter("tppd_sessions_closed_total", "Named sessions deleted by clients.")
+	m.sessionsEvicted = reg.Counter("tppd_sessions_evicted_total", "Named sessions evicted by the idle TTL.")
+	reg.GaugeFunc("tppd_sessions_open", "Named sessions currently live.", sessionsOpen)
+
+	m.deltasApplied = reg.Counter("tppd_deltas_applied_total",
+		"Graph deltas committed across all sessions.")
+	m.deltaLatency = reg.Histogram("tppd_delta_duration_seconds",
+		"Full wall-clock latency of committed session deltas.",
+		telemetry.DurationBounds(), 1e9)
+
+	m.nodesAdded = reg.Counter("tppd_session_mutations_total",
+		"Session mutation mix by kind.", telemetry.Label{Key: "kind", Value: "nodes_added"})
+	m.nodesRemoved = reg.Counter("tppd_session_mutations_total",
+		"Session mutation mix by kind.", telemetry.Label{Key: "kind", Value: "nodes_removed"})
+	m.targetsAdded = reg.Counter("tppd_session_mutations_total",
+		"Session mutation mix by kind.", telemetry.Label{Key: "kind", Value: "targets_added"})
+	m.targetsDropped = reg.Counter("tppd_session_mutations_total",
+		"Session mutation mix by kind.", telemetry.Label{Key: "kind", Value: "targets_dropped"})
+
+	m.warmRuns = reg.Counter("tppd_selection_runs_total",
+		"SGB selections by serving mode.", telemetry.Label{Key: "mode", Value: "warm"})
+	m.coldRuns = reg.Counter("tppd_selection_runs_total",
+		"SGB selections by serving mode.", telemetry.Label{Key: "mode", Value: "cold"})
+	m.warmFallbacks = reg.Counter("tppd_selection_fallbacks_total",
+		"Warm-start attempts abandoned for a cold re-run (already counted in mode=\"cold\").")
+
+	reg.GaugeFunc("tppd_concurrency_in_use", "Selection slots occupied.", slotsInUse)
+	reg.GaugeFunc("tppd_concurrency_limit", "Configured selection-slot limit.", slotsLimit)
+	return m
+}
+
+// route returns the pre-registered instrument set for a matched mux
+// pattern, or the catch-all.
+func (m *serverMetrics) route(pattern string) *routeInstruments {
+	if ri := m.routes[pattern]; ri != nil {
+		return ri
+	}
+	return m.routes[routeOther]
+}
+
+// serverStats is a thin façade over the registry: it derives the
+// /v1/stats wire fields from the same instruments /metrics exports, so the
+// two endpoints can never disagree. The historical *_last_ms fields are
+// populated with the histograms' running mean — a race-free aggregate in
+// place of the old last-write-wins value, same shape on the wire.
+type serverStats struct {
+	m *serverMetrics
+}
+
+// record folds a finished one-shot session's selection counters into the
+// aggregates. One-shot sessions are fresh per request, so totals add
+// directly; enumeration and delta timing arrive through the stage recorder
+// instead.
+func (st serverStats) record(session *tpp.Protector) {
+	st.m.warmRuns.Add(int64(session.WarmRuns()))
+	st.m.coldRuns.Add(int64(session.ColdRuns()))
+	st.m.warmFallbacks.Add(int64(session.WarmFallbacks()))
+}
+
+// snapshot assembles the /v1/stats response from the registry instruments.
+func (st serverStats) snapshot() statsResponse {
+	enum := st.m.stages.Histogram(telemetry.StageEnumerate)
+	return statsResponse{
+		TotalRequests:      st.m.protectRequests.Load(),
+		LiveSessions:       st.m.inflightRuns.Load(),
+		IndexBuilds:        enum.Count(),
+		EnumerationTotalMS: float64(enum.Sum()) / 1e6,
+		EnumerationLastMS:  enum.Mean() / 1e6,
+		SessionsCreated:    st.m.sessionsCreated.Load(),
+		SessionsClosed:     st.m.sessionsClosed.Load(),
+		SessionsEvicted:    st.m.sessionsEvicted.Load(),
+		DeltasApplied:      st.m.deltasApplied.Load(),
+		DeltaApplyTotalMS:  float64(st.m.deltaLatency.Sum()) / 1e6,
+		DeltaApplyLastMS:   st.m.deltaLatency.Mean() / 1e6,
+		NodesAdded:         st.m.nodesAdded.Load(),
+		NodesRemoved:       st.m.nodesRemoved.Load(),
+		TargetsAdded:       st.m.targetsAdded.Load(),
+		TargetsDropped:     st.m.targetsDropped.Load(),
+		WarmRuns:           st.m.warmRuns.Load(),
+		ColdRuns:           st.m.coldRuns.Load(),
+		WarmFallbacks:      st.m.warmFallbacks.Load(),
+	}
+}
+
+// reqScope carries per-request annotations from the handlers back to the
+// request logger: the handler fills in what it learns (session id, engine,
+// pattern) and the middleware logs it after the response is written.
+type reqScope struct {
+	id      string // request id, set by the middleware
+	session string
+	engine  string
+	pattern string
+	method  string
+}
+
+type scopeKey struct{}
+
+// scopeFrom returns the request's annotation scope, or nil outside the
+// instrument middleware (direct handler tests).
+func scopeFrom(ctx context.Context) *reqScope {
+	sc, _ := ctx.Value(scopeKey{}).(*reqScope)
+	return sc
+}
+
+// annotateSession records the session id a request operated on.
+func annotateSession(ctx context.Context, id string) {
+	if sc := scopeFrom(ctx); sc != nil {
+		sc.session = id
+	}
+}
+
+// statusWriter records the response status and body size as they stream.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// nextRequestID returns a process-unique request id: a startup entropy
+// prefix plus a sequence number.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", s.idPrefix, s.reqSeq.Add(1))
+}
+
+// newIDPrefix draws the startup entropy for request ids.
+func newIDPrefix() string {
+	buf := make([]byte, 3)
+	if _, err := rand.Read(buf); err != nil {
+		panic(fmt.Sprintf("tppd: reading request id entropy: %v", err))
+	}
+	return hex.EncodeToString(buf)
+}
+
+// instrument wraps the route table with the observability layer: per-route
+// latency/size/status metrics, the per-request stage recorder, and the
+// structured request log. It runs outside the mux, so the matched pattern
+// is resolved with mux.Handler — the pattern the mux stamps on the request
+// lands on the mux's own shallow copy, never on this r.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		_, pattern := s.mux.Handler(r)
+		sc := &reqScope{id: s.nextRequestID()}
+		sp := telemetry.NewStages(s.metrics.stages)
+		ctx := telemetry.NewContext(r.Context(), sp)
+		ctx = context.WithValue(ctx, scopeKey{}, sc)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+
+		ri := s.metrics.route(pattern)
+		ri.latency.Observe(int64(elapsed))
+		ri.size.Observe(sw.bytes)
+		ri.classCounter(sw.status).Inc()
+		s.logRequest(r, pattern, sc, sw, sp, elapsed)
+	})
+}
+
+// logRequest emits the structured request log. Routine requests log at
+// Debug (invisible under the default Info level), requests slower than the
+// configured threshold at Warn with the full stage breakdown, and 5xx
+// responses at Error.
+func (s *Server) logRequest(r *http.Request, pattern string, sc *reqScope, sw *statusWriter, sp *telemetry.Stages, elapsed time.Duration) {
+	level := slog.LevelDebug
+	slow := s.slowReq > 0 && elapsed >= s.slowReq
+	switch {
+	case sw.status >= 500:
+		level = slog.LevelError
+	case slow:
+		level = slog.LevelWarn
+	}
+	logger := s.logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	if !logger.Enabled(r.Context(), level) {
+		return
+	}
+	if pattern == "" {
+		pattern = routeOther
+	}
+	attrs := make([]slog.Attr, 0, 12)
+	attrs = append(attrs,
+		slog.String("request_id", sc.id),
+		slog.String("route", pattern),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.status),
+		slog.Float64("duration_ms", float64(elapsed.Microseconds())/1000),
+		slog.Int64("bytes", sw.bytes),
+	)
+	if sc.session != "" {
+		attrs = append(attrs, slog.String("session", sc.session))
+	}
+	if sc.method != "" {
+		attrs = append(attrs, slog.String("tpp_method", sc.method))
+	}
+	if sc.engine != "" {
+		attrs = append(attrs, slog.String("engine", sc.engine))
+	}
+	if sc.pattern != "" {
+		attrs = append(attrs, slog.String("pattern", sc.pattern))
+	}
+	if stageAttrs := stageBreakdown(sp); len(stageAttrs) > 0 {
+		attrs = append(attrs, slog.Attr{Key: "stages", Value: slog.GroupValue(stageAttrs...)})
+	}
+	msg := "request"
+	if slow {
+		msg = "slow request"
+	}
+	logger.LogAttrs(r.Context(), level, msg, attrs...)
+}
+
+// stageBreakdown renders the request's per-stage timing as log attributes,
+// one per stage that actually ran.
+func stageBreakdown(sp *telemetry.Stages) []slog.Attr {
+	var attrs []slog.Attr
+	for i := 0; i < telemetry.NumStages; i++ {
+		st := telemetry.Stage(i)
+		if sp.Calls(st) == 0 {
+			continue
+		}
+		attrs = append(attrs, slog.Float64(st.String()+"_ms", float64(sp.Nanos(st))/1e6))
+	}
+	return attrs
+}

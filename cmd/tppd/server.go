@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"runtime"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/motif"
+	"repro/internal/telemetry"
 	"repro/internal/tpp"
 )
 
@@ -26,52 +28,28 @@ import (
 // the server, mutated by deltas and protected repeatedly, with idle-TTL
 // eviction. Requests are served concurrently, bounded by a semaphore so a
 // burst of heavy selections degrades into queueing instead of thrashing.
+//
+// Every request runs inside the instrument middleware (observe.go): it
+// keeps the per-route metrics, threads a per-request stage recorder
+// through context into the tpp pipeline, and emits the structured request
+// log. The same registry backs GET /metrics and GET /v1/stats.
 type Server struct {
 	maxBody    int64
 	maxTimeout time.Duration // server-side cap on per-request selection time
 	maxScale   int           // cap on dataset graph size a client may request
 	sem        chan struct{} // bounds concurrent selection runs
 	sessions   *sessionStore // long-lived named sessions (TTL-evicted)
-	stats      serverStats
-}
 
-// serverStats aggregates the service's observability counters, served by
-// GET /v1/stats. All fields are atomics: requests mutate them concurrently.
-type serverStats struct {
-	totalRequests atomic.Int64 // protection requests accepted for processing
-	liveSessions  atomic.Int64 // tpp.Protector sessions currently running
-	indexBuilds   atomic.Int64 // motif index enumerations performed
-	enumNanos     atomic.Int64 // total wall-clock time spent enumerating
-	lastEnumNanos atomic.Int64 // duration of the most recent enumeration
+	mux      *http.ServeMux
+	registry *telemetry.Registry
+	metrics  *serverMetrics
+	stats    serverStats // façade deriving /v1/stats from metrics
 
-	sessionsCreated atomic.Int64 // named sessions created over the lifetime
-	sessionsClosed  atomic.Int64 // named sessions deleted by clients
-	sessionsEvicted atomic.Int64 // named sessions evicted by the idle TTL
-	deltasApplied   atomic.Int64 // graph deltas applied across all sessions
-	deltaNanos      atomic.Int64 // total wall-clock time spent applying deltas
-	lastDeltaNanos  atomic.Int64 // duration of the most recent delta apply
-
-	nodesAdded     atomic.Int64 // nodes added by deltas across all sessions
-	nodesRemoved   atomic.Int64 // nodes removed by deltas across all sessions
-	targetsAdded   atomic.Int64 // target links added by deltas
-	targetsDropped atomic.Int64 // target links dropped by deltas
-
-	warmRuns      atomic.Int64 // selections served by warm-start replay
-	coldRuns      atomic.Int64 // selections that ran cold (first runs and fallbacks)
-	warmFallbacks atomic.Int64 // warm attempts abandoned for a cold re-run
-}
-
-// record folds one finished session into the aggregate counters.
-func (st *serverStats) record(session *tpp.Protector) {
-	if builds := int64(session.IndexBuilds()); builds > 0 {
-		st.indexBuilds.Add(builds)
-		ns := int64(session.IndexBuildTime())
-		st.enumNanos.Add(ns)
-		st.lastEnumNanos.Store(ns)
-	}
-	st.warmRuns.Add(int64(session.WarmRuns()))
-	st.coldRuns.Add(int64(session.ColdRuns()))
-	st.warmFallbacks.Add(int64(session.WarmFallbacks()))
+	logger   *slog.Logger  // request logger; nil means slog.Default()
+	slowReq  time.Duration // log requests slower than this at Warn (0 disables)
+	draining atomic.Bool   // readiness: /v1/healthz answers 503 once set
+	idPrefix string        // startup entropy for request ids
+	reqSeq   atomic.Int64
 }
 
 // defaultMaxScale admits the paper's full-size DBLP stand-in (317080
@@ -98,19 +76,56 @@ func NewServer(maxConcurrent int, maxBody int64, maxTimeout time.Duration, maxSc
 		maxTimeout: maxTimeout,
 		maxScale:   maxScale,
 		sem:        make(chan struct{}, maxConcurrent),
+		registry:   telemetry.NewRegistry(),
+		idPrefix:   newIDPrefix(),
 	}
-	s.sessions = newSessionStore(sessionTTL, func(n int) { s.stats.sessionsEvicted.Add(int64(n)) })
+	s.metrics = newServerMetrics(s.registry,
+		func() float64 { return float64(s.sessions.open()) },
+		func() float64 { return float64(len(s.sem)) },
+		func() float64 { return float64(cap(s.sem)) },
+	)
+	s.stats = serverStats{m: s.metrics}
+	s.sessions = newSessionStore(sessionTTL, func(n int) { s.metrics.sessionsEvicted.Add(int64(n)) })
 	return s
+}
+
+// ConfigureLogging installs the structured request logger and the
+// slow-request threshold (requests slower than slow log at Warn with their
+// full stage breakdown; 0 disables the outlier log). Nil keeps
+// slog.Default(). Call before the first request.
+func (s *Server) ConfigureLogging(logger *slog.Logger, slow time.Duration) {
+	if logger != nil {
+		s.logger = logger
+	}
+	s.slowReq = slow
+}
+
+// BeginDrain flips readiness: GET /v1/healthz answers 503 from here on, so
+// load balancers stop routing new work while in-flight requests finish.
+// Call before http.Server.Shutdown.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
 }
 
 // Close stops the session janitor and releases every named session. Call it
 // after the HTTP server has drained (http.Server.Shutdown), so no handler
-// is still using a session.
+// is still using a session. Close implies BeginDrain.
 func (s *Server) Close() {
+	s.BeginDrain()
 	s.sessions.close()
 }
 
-// Handler returns the service's route table.
+// MetricsHandler serves the registry in Prometheus text exposition format —
+// the same instruments Handler mounts at GET /metrics, for mounting on a
+// separate debug listener.
+func (s *Server) MetricsHandler() http.Handler {
+	return s.registry.Handler()
+}
+
+// Handler returns the service's route table wrapped in the instrument
+// middleware. Adding a route here usually means adding its pattern to
+// routePatterns (observe.go) so it gets its own metric series instead of
+// the catch-all.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/protect", s.handleProtect)
@@ -121,10 +136,26 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.registry.Handler())
+	// Legacy liveness probe: always 200 while the process serves, readiness
+	// notwithstanding. /v1/healthz is the readiness-aware replacement.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	s.mux = mux
+	return s.instrument(mux)
+}
+
+// handleHealthz is the liveness/readiness probe: 200 while serving, 503
+// once a graceful drain begins (BeginDrain/Close), so orchestrators pull
+// the instance out of rotation before the listener stops.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // protectRequest is the wire form of one protection request. Exactly one
@@ -206,6 +237,7 @@ func (s *Server) handleProtect(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	annotateScope(r.Context(), &req, opts)
 
 	// The deadline covers the whole request — materialising a large dataset
 	// graph can dominate the selection itself.
@@ -242,10 +274,10 @@ func (s *Server) handleProtect(w http.ResponseWriter, r *http.Request) {
 	}
 	g, targets := session.Problem().G, session.Problem().Targets
 
-	s.stats.totalRequests.Add(1)
-	s.stats.liveSessions.Add(1)
+	s.metrics.protectRequests.Inc()
+	s.metrics.inflightRuns.Add(1)
 	res, err := session.Run(ctx)
-	s.stats.liveSessions.Add(-1)
+	s.metrics.inflightRuns.Add(-1)
 	s.stats.record(session)
 	if err != nil {
 		writeRunError(w, err)
@@ -286,7 +318,10 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 // observability — how many protection requests ran, how many sessions are
 // live right now, how many motif-index enumerations were performed and how
 // long they took (enumeration dominates request cost, so these timings are
-// the service's main capacity signal).
+// the service's main capacity signal). Every field derives from the same
+// registry instruments GET /metrics exports (see serverStats); the
+// *_last_ms fields carry the histograms' running mean rather than the old
+// race-prone last-write value — same JSON shape, race-free source.
 type statsResponse struct {
 	TotalRequests      int64   `json:"total_requests"`
 	LiveSessions       int64   `json:"live_sessions"`
@@ -327,30 +362,26 @@ type statsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
-		TotalRequests:       s.stats.totalRequests.Load(),
-		LiveSessions:        s.stats.liveSessions.Load(),
-		IndexBuilds:         s.stats.indexBuilds.Load(),
-		EnumerationTotalMS:  float64(s.stats.enumNanos.Load()) / 1e6,
-		EnumerationLastMS:   float64(s.stats.lastEnumNanos.Load()) / 1e6,
-		SessionsOpen:        s.sessions.open(),
-		SessionsCreated:     s.stats.sessionsCreated.Load(),
-		SessionsClosed:      s.stats.sessionsClosed.Load(),
-		SessionsEvicted:     s.stats.sessionsEvicted.Load(),
-		DeltasApplied:       s.stats.deltasApplied.Load(),
-		DeltaApplyTotalMS:   float64(s.stats.deltaNanos.Load()) / 1e6,
-		DeltaApplyLastMS:    float64(s.stats.lastDeltaNanos.Load()) / 1e6,
-		NodesAdded:          s.stats.nodesAdded.Load(),
-		NodesRemoved:        s.stats.nodesRemoved.Load(),
-		TargetsAdded:        s.stats.targetsAdded.Load(),
-		TargetsDropped:      s.stats.targetsDropped.Load(),
-		WarmRuns:            s.stats.warmRuns.Load(),
-		ColdRuns:            s.stats.coldRuns.Load(),
-		WarmFallbacks:       s.stats.warmFallbacks.Load(),
-		MaxWorkers:          runtime.GOMAXPROCS(0),
-		MaxConcurrentInUse:  len(s.sem),
-		MaxConcurrentConfig: cap(s.sem),
-	})
+	resp := s.stats.snapshot()
+	resp.SessionsOpen = s.sessions.open()
+	resp.MaxWorkers = runtime.GOMAXPROCS(0)
+	resp.MaxConcurrentInUse = len(s.sem)
+	resp.MaxConcurrentConfig = cap(s.sem)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// annotateScope records the request's resolved options on its log scope.
+func annotateScope(ctx context.Context, req *protectRequest, opts runOptions) {
+	sc := scopeFrom(ctx)
+	if sc == nil {
+		return
+	}
+	sc.method = string(opts.method)
+	sc.pattern = opts.pattern.String()
+	sc.engine = req.Engine
+	if sc.engine == "" {
+		sc.engine = "lazy"
+	}
 }
 
 // requestContext derives the per-request deadline: the client's timeout_ms

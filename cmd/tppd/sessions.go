@@ -42,10 +42,10 @@ type sessionRecord struct {
 	runs     int64
 	deltas   int64
 
-	// Last values folded into the aggregate stats, so repeated protect
-	// calls on the same session add only the increment.
-	statBuilds    int64
-	statEnumNs    int64
+	// Last values folded into the aggregate selection counters, so repeated
+	// protect calls on the same session add only the increment. Enumeration
+	// and delta timing need no folding: the per-request stage recorder
+	// observes each span exactly once, when it happens.
 	statWarm      int64
 	statCold      int64
 	statFallbacks int64
@@ -326,7 +326,8 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	// the session.
 	info := s.sessionInfo("", rec)
 	info.ID = s.sessions.add(rec)
-	s.stats.sessionsCreated.Add(1)
+	s.metrics.sessionsCreated.Inc()
+	annotateSession(r.Context(), info.ID)
 	writeJSON(w, http.StatusCreated, info)
 }
 
@@ -356,6 +357,7 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.sessions.release(rec)
+	annotateSession(r.Context(), rec.id)
 	writeJSON(w, http.StatusOK, s.sessionInfo(rec.id, rec))
 }
 
@@ -369,9 +371,10 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		writeSessionNotFound(w, r.PathValue("id"))
 		return
 	}
+	annotateSession(r.Context(), rec.id)
 	s.sessions.remove(rec)
 	<-rec.slot
-	s.stats.sessionsClosed.Add(1)
+	s.metrics.sessionsClosed.Inc()
 	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted", "id": rec.id})
 }
 
@@ -425,6 +428,8 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 	}
 	defer releaseRec()
 
+	annotateSession(r.Context(), rec.id)
+
 	d, err := resolveDelta(&req, rec.lab)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
@@ -440,14 +445,12 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 	// rest) before anything reads it again.
 	applyDeltaLabels(rec.lab, req.AddNodes, rep)
 	rec.deltas++
-	s.stats.deltasApplied.Add(1)
-	s.stats.nodesAdded.Add(int64(rep.NodesAdded))
-	s.stats.nodesRemoved.Add(int64(rep.NodesRemoved))
-	s.stats.targetsAdded.Add(int64(rep.TargetsAdded))
-	s.stats.targetsDropped.Add(int64(rep.TargetsDropped))
-	ns := int64(rep.Elapsed)
-	s.stats.deltaNanos.Add(ns)
-	s.stats.lastDeltaNanos.Store(ns)
+	s.metrics.deltasApplied.Inc()
+	s.metrics.nodesAdded.Add(int64(rep.NodesAdded))
+	s.metrics.nodesRemoved.Add(int64(rep.NodesRemoved))
+	s.metrics.targetsAdded.Add(int64(rep.TargetsAdded))
+	s.metrics.targetsDropped.Add(int64(rep.TargetsDropped))
+	s.metrics.deltaLatency.Observe(int64(rep.Elapsed))
 	resp := deltaResponse{
 		Inserted:         rep.Inserted,
 		Removed:          rep.Removed,
@@ -655,10 +658,16 @@ func (s *Server) handleSessionProtect(w http.ResponseWriter, r *http.Request) {
 	}
 	defer releaseRec()
 
-	s.stats.totalRequests.Add(1)
-	s.stats.liveSessions.Add(1)
+	annotateSession(r.Context(), rec.id)
+	if sc := scopeFrom(r.Context()); sc != nil {
+		sc.method = req.Method
+		sc.engine = req.Engine
+	}
+
+	s.metrics.protectRequests.Inc()
+	s.metrics.inflightRuns.Add(1)
 	res, err := rec.session.Run(ctx, opts...)
-	s.stats.liveSessions.Add(-1)
+	s.metrics.inflightRuns.Add(-1)
 	s.recordSessionStats(rec)
 	if err != nil {
 		writeRunError(w, err)
@@ -693,24 +702,18 @@ func (s *Server) handleSessionProtect(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// recordSessionStats folds a session's index-build counters into the
-// aggregates, adding only what changed since the last fold so repeated
-// protect calls on the same long-lived session count each enumeration once.
+// recordSessionStats folds a session's selection counters into the
+// aggregate warm/cold metrics, adding only what changed since the last
+// fold so repeated protect calls on the same long-lived session count each
+// selection once. Enumeration and delta timings flow through the stage
+// recorder instead and need no folding.
 func (s *Server) recordSessionStats(rec *sessionRecord) {
-	builds := int64(rec.session.IndexBuilds())
-	ns := int64(rec.session.IndexBuildTime())
-	if db := builds - rec.statBuilds; db > 0 {
-		s.stats.indexBuilds.Add(db)
-		s.stats.enumNanos.Add(ns - rec.statEnumNs)
-		s.stats.lastEnumNanos.Store(ns - rec.statEnumNs)
-	}
-	rec.statBuilds, rec.statEnumNs = builds, ns
 	warm := int64(rec.session.WarmRuns())
 	cold := int64(rec.session.ColdRuns())
 	falls := int64(rec.session.WarmFallbacks())
-	s.stats.warmRuns.Add(warm - rec.statWarm)
-	s.stats.coldRuns.Add(cold - rec.statCold)
-	s.stats.warmFallbacks.Add(falls - rec.statFallbacks)
+	s.metrics.warmRuns.Add(warm - rec.statWarm)
+	s.metrics.coldRuns.Add(cold - rec.statCold)
+	s.metrics.warmFallbacks.Add(falls - rec.statFallbacks)
 	rec.statWarm, rec.statCold, rec.statFallbacks = warm, cold, falls
 }
 

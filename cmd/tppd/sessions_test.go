@@ -306,11 +306,11 @@ func TestSessionConcurrentDeltaProtect(t *testing.T) {
 	}
 	// Every writer ran 2 full join/leave + add/drop cycles: the aggregate
 	// mutation-mix counters must balance exactly.
-	st := &srv.stats
-	if st.nodesAdded.Load() != 4 || st.nodesRemoved.Load() != 4 ||
-		st.targetsAdded.Load() != 4 || st.targetsDropped.Load() != 4 {
+	m := srv.metrics
+	if m.nodesAdded.Load() != 4 || m.nodesRemoved.Load() != 4 ||
+		m.targetsAdded.Load() != 4 || m.targetsDropped.Load() != 4 {
 		t.Fatalf("mutation mix = %d/%d/%d/%d added/removed/t-added/t-dropped, want 4 each",
-			st.nodesAdded.Load(), st.nodesRemoved.Load(), st.targetsAdded.Load(), st.targetsDropped.Load())
+			m.nodesAdded.Load(), m.nodesRemoved.Load(), m.targetsAdded.Load(), m.targetsDropped.Load())
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/gen"
 	"repro/internal/motif"
+	"repro/internal/telemetry"
 	"repro/internal/tpp"
 )
 
@@ -44,7 +45,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctx := context.Background()
+	// A stage recorder on the context makes the pipeline account for its
+	// time: enumeration, warm replay, cold selection and delta application
+	// each land in their own bucket, at no allocation cost on the hot path.
+	sp := telemetry.NewStages(nil)
+	ctx := telemetry.NewContext(context.Background(), sp)
 
 	// First protection pays the one-time subgraph enumeration.
 	start := time.Now()
@@ -106,4 +111,17 @@ func main() {
 	fmt.Printf("total delta-apply time %v (first apply includes the one-time copy-on-write graph clone) vs %v of enumeration a rebuild-per-delta design would have re-paid %d times\n",
 		session.DeltaApplyTime().Round(time.Microsecond),
 		session.IndexBuildTime().Round(time.Microsecond), session.DeltasApplied())
+
+	// Where the session's time actually went, stage by stage — the same
+	// breakdown tppd exports per request and at /metrics.
+	fmt.Println("\nstage breakdown across the whole session:")
+	for i := 0; i < telemetry.NumStages; i++ {
+		st := telemetry.Stage(i)
+		if sp.Calls(st) == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %3d spans  %10v  (%4.1f%%)\n", st, sp.Calls(st),
+			time.Duration(sp.Nanos(st)).Round(time.Microsecond),
+			float64(sp.Nanos(st))/float64(sp.Total())*100)
+	}
 }

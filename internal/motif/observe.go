@@ -1,0 +1,16 @@
+package motif
+
+import "repro/internal/telemetry"
+
+// Record attributes the build's enumeration cost to the pipeline's
+// enumerate stage. Safe on a nil recorder, so callers can pass whatever
+// telemetry.FromContext handed them.
+func (st BuildStats) Record(sp *telemetry.Stages) {
+	sp.Add(telemetry.StageEnumerate, st.Elapsed)
+}
+
+// Record attributes the incremental maintenance cost to the pipeline's
+// delta-apply stage. Safe on a nil recorder.
+func (st ApplyStats) Record(sp *telemetry.Stages) {
+	sp.Add(telemetry.StageDeltaApply, st.Elapsed)
+}

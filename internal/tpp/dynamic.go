@@ -7,6 +7,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/motif"
+	"repro/internal/telemetry"
 )
 
 // DeltaReport describes one committed Apply: what changed and how the
@@ -138,6 +139,15 @@ func (pr *Protector) Apply(ctx context.Context, d dynamic.Delta) (*DeltaReport, 
 	rep.Elapsed = time.Since(start)
 	pr.deltasApplied.Add(1)
 	pr.deltaTime.Add(int64(rep.Elapsed))
+	if stages := telemetry.FromContext(ctx); stages != nil {
+		if rep.Incremental {
+			// Attribute the measured index-maintenance cost; validation and
+			// graph mutation around it are noise by comparison.
+			rep.IndexStats.Record(stages)
+		} else {
+			stages.Add(telemetry.StageDeltaApply, rep.Elapsed)
+		}
+	}
 	return rep, nil
 }
 

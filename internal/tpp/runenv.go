@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/motif"
+	"repro/internal/telemetry"
 )
 
 // ProgressFunc observes a selection run: it is called after every committed
@@ -25,6 +26,10 @@ type runEnv struct {
 	ix       *motif.Index
 	progress ProgressFunc
 	workers  int // <= 0: auto (GOMAXPROCS) for index builds, serial scans
+	// stages receives per-stage timing spans (enumeration, scoring, warm
+	// replay, cold selection). nil — the common free-function case — records
+	// nothing; telemetry.Stages is nil-safe by contract.
+	stages *telemetry.Stages
 }
 
 // err reports the context's cancellation state without blocking. Selection

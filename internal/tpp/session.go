@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/motif"
+	"repro/internal/telemetry"
 )
 
 // normalizeWorkers resolves a WithWorkers value: non-positive means auto
@@ -239,7 +240,7 @@ func (pr *Protector) Run(ctx context.Context, opts ...Option) (*Result, error) {
 		return nil, ctx.Err()
 	}
 
-	env := runEnv{ctx: ctx, progress: s.progress, workers: normalizeWorkers(s.workers)}
+	env := runEnv{ctx: ctx, progress: s.progress, workers: normalizeWorkers(s.workers), stages: telemetry.FromContext(ctx)}
 	if s.engine != EngineRecount || s.method == MethodRD || s.method == MethodRDT {
 		// Baselines always need the index for their similarity trace.
 		if pr.ix == nil {
@@ -255,6 +256,7 @@ func (pr *Protector) Run(ctx context.Context, opts ...Option) (*Result, error) {
 			pr.ix = ix
 			pr.indexBuilds.Add(1)
 			pr.indexBuildTime.Add(int64(ix.BuildStats().Elapsed))
+			ix.BuildStats().Record(env.stages)
 		} else {
 			pr.ix.Reset()
 		}
@@ -297,16 +299,31 @@ func (pr *Protector) Run(ctx context.Context, opts ...Option) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		var res *Result
 		if s.method == MethodCT {
-			return ctGreedy(pr.problem, budgets, opt, env)
+			res, err = ctGreedy(pr.problem, budgets, opt, env)
+		} else {
+			res, err = wtGreedy(pr.problem, budgets, opt, env)
 		}
-		return wtGreedy(pr.problem, budgets, opt, env)
+		return recordSelection(res, err, env.stages)
 	case MethodRD:
-		return randomDeletion(pr.problem, budget, rand.New(rand.NewSource(s.seed)), env)
+		res, err := randomDeletion(pr.problem, budget, rand.New(rand.NewSource(s.seed)), env)
+		return recordSelection(res, err, env.stages)
 	case MethodRDT:
-		return randomDeletionFromTargets(pr.problem, budget, rand.New(rand.NewSource(s.seed)), env)
+		res, err := randomDeletionFromTargets(pr.problem, budget, rand.New(rand.NewSource(s.seed)), env)
+		return recordSelection(res, err, env.stages)
 	}
 	return nil, fmt.Errorf("%w: %q", ErrUnknownMethod, s.method) // unreachable: validate caught it
+}
+
+// recordSelection attributes a completed non-SGB selection's wall time to
+// the cold-select stage (the baselines have no warm path) and passes the
+// result pair through untouched.
+func recordSelection(res *Result, err error, sp *telemetry.Stages) (*Result, error) {
+	if err == nil {
+		sp.Add(telemetry.StageColdSelect, res.Elapsed)
+	}
+	return res, err
 }
 
 // divide computes the per-target sub budgets. With a live index the TBD

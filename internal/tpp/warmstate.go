@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/motif"
+	"repro/internal/telemetry"
 )
 
 // Warm-started incremental selection.
@@ -221,10 +222,13 @@ func warmLabel(opt Options) string {
 // they are SGB selections and warm-start like any other.
 func (pr *Protector) sgbSession(s *settings, opt Options, env runEnv, k int) (*Result, error) {
 	if env.ix == nil {
-		// Recount engine: no index to maintain a snapshot against.
+		// Recount engine: no index to maintain a snapshot against. Its wall
+		// time is dominated by per-step candidate recounting, so the span is
+		// attributed to the scoring stage.
 		res, err := sgbGreedy(pr.problem, k, opt, env)
 		if err == nil {
 			pr.coldRuns.Add(1)
+			env.stages.Add(telemetry.StageScore, res.Elapsed)
 		}
 		return res, err
 	}
@@ -237,12 +241,14 @@ func (pr *Protector) sgbSession(s *settings, opt Options, env runEnv, k int) (*R
 			}
 			if hit {
 				pr.warmRuns.Add(1)
+				env.stages.Add(telemetry.StageWarmReplay, res.Elapsed)
 			} else {
 				// Some step diverged: the run finished through the index
 				// heap from the verified prefix — still bit-identical to
 				// cold, but it paid the heap rebuild, so it counts cold.
 				pr.coldRuns.Add(1)
 				pr.warmFallbacks.Add(1)
+				env.stages.Add(telemetry.StageColdSelect, res.Elapsed)
 			}
 			pr.warm.remember(res)
 			return res, nil
@@ -254,6 +260,7 @@ func (pr *Protector) sgbSession(s *settings, opt Options, env runEnv, k int) (*R
 		return nil, err
 	}
 	pr.coldRuns.Add(1)
+	env.stages.Add(telemetry.StageColdSelect, res.Elapsed)
 	if warmable {
 		pr.warm.remember(res)
 	}
