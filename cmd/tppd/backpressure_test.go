@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestBackpressure429 pins the graceful-degradation contract: when every
+// selection slot stays busy past the configured wait, the server answers
+// 429 with a Retry-After hint instead of queueing the request until its
+// deadline — and recovers to normal service the moment a slot frees.
+func TestBackpressure429(t *testing.T) {
+	srv := NewServer(2, 1<<20, 30*time.Second, 0, 0)
+	t.Cleanup(srv.Close)
+	srv.ConfigureBackpressure(50 * time.Millisecond)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// Occupy both selection slots, as two long-running selections would.
+	srv.sem <- struct{}{}
+	srv.sem <- struct{}{}
+
+	req := protectRequest{
+		Edges:   quickstartEdges,
+		Targets: [][2]string{{"0", "5"}},
+		Pattern: "Triangle",
+	}
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/protect", req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered %d, want 429: %s", resp.StatusCode, body)
+	}
+	retryAfter, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || retryAfter < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("429 body %q is not an error payload: %v", body, err)
+	}
+
+	// Session creation degrades the same way — it needs a slot too.
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/sessions", req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated create answered %d, want 429", resp.StatusCode)
+	}
+
+	if got := srv.metrics.busyRejections.Load(); got != 2 {
+		t.Fatalf("busy rejection counter = %d, want 2", got)
+	}
+	st := struct {
+		BusyRejections int64 `json:"busy_rejections"`
+	}{}
+	_, body = doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil)
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.BusyRejections != 2 {
+		t.Fatalf("stats busy_rejections = %d, want 2", st.BusyRejections)
+	}
+
+	// A freed slot restores normal service immediately.
+	<-srv.sem
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/protect", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after slot freed: status %d, want 200: %s", resp.StatusCode, body)
+	}
+	<-srv.sem
+}
+
+// TestBackpressureZeroWaitQueues: queue-wait 0 preserves the original
+// queue-until-deadline behaviour — a briefly saturated server still serves
+// the request once a slot frees.
+func TestBackpressureZeroWaitQueues(t *testing.T) {
+	srv := NewServer(1, 1<<20, 30*time.Second, 0, 0)
+	t.Cleanup(srv.Close)
+	srv.ConfigureBackpressure(0)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	srv.sem <- struct{}{} // saturate; the goroutine frees it mid-request
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		<-srv.sem
+	}()
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/protect", protectRequest{
+		Edges:   quickstartEdges,
+		Targets: [][2]string{{"0", "5"}},
+		Pattern: "Triangle",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("queued request answered %d, want 200: %s", resp.StatusCode, body)
+	}
+	if got := srv.metrics.busyRejections.Load(); got != 0 {
+		t.Fatalf("queue-until-deadline mode rejected %d requests", got)
+	}
+}

@@ -23,6 +23,19 @@
 // incrementally (time proportional to the delta, not the graph) and idle
 // sessions are evicted after -session-ttl.
 //
+// With -data-dir set, sessions are durable: each one keeps a versioned
+// snapshot plus a write-ahead log of its committed deltas (fsynced before
+// the ack under -wal-sync, folded into a fresh snapshot every
+// -wal-compact entries), TTL eviction spills a final snapshot instead of
+// discarding state, and a restart rehydrates every recoverable session —
+// torn WAL tails are truncated, unrecoverable sessions are quarantined
+// aside and the server keeps serving.
+//
+// When all -max-concurrent selection slots stay busy for -queue-wait, new
+// work is rejected with 429 + Retry-After instead of queueing until the
+// request deadline, so clients back off while their own deadline budget is
+// still intact (0 restores queue-until-deadline).
+//
 // Every request is logged through log/slog with a request id, the matched
 // route, the session and engine in play, status, latency and a per-stage
 // timing breakdown (enumerate / score / warm_replay / cold_select /
@@ -58,6 +71,8 @@ import (
 	"runtime"
 	"syscall"
 	"time"
+
+	"repro/internal/durable"
 )
 
 func main() {
@@ -68,6 +83,10 @@ func main() {
 		reqTimeout    = flag.Duration("request-timeout", time.Minute, "per-request selection time cap")
 		maxScale      = flag.Int("max-dataset-scale", defaultMaxScale, "max node count for server-side dataset graphs")
 		sessionTTL    = flag.Duration("session-ttl", 30*time.Minute, "evict named sessions idle for longer (0 disables)")
+		dataDir       = flag.String("data-dir", "", "persist sessions here (snapshot + delta WAL per session, rehydrated on boot); empty disables durability")
+		walSync       = flag.Bool("wal-sync", true, "fsync each WAL append before acking the delta")
+		walCompact    = flag.Int("wal-compact", 256, "fold a session's WAL into a fresh snapshot every N deltas")
+		queueWait     = flag.Duration("queue-wait", time.Second, "reject with 429 when no selection slot frees within this (0 queues until the request deadline)")
 		pprofAddr     = flag.String("pprof", "", "serve the debug listener (pprof, expvar, /metrics) on this address (empty disables)")
 		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn or error (debug shows every request)")
 		slowReq       = flag.Duration("slow-request", 2*time.Second, "log requests slower than this at warn with a stage breakdown (0 disables)")
@@ -83,6 +102,24 @@ func main() {
 
 	service := NewServer(*maxConcurrent, *maxBody, *reqTimeout, *maxScale, *sessionTTL)
 	service.ConfigureLogging(logger, *slowReq)
+	service.ConfigureBackpressure(*queueWait)
+	if *dataDir != "" {
+		store, err := durable.Open(*dataDir, durable.Options{
+			SyncWrites:   *walSync,
+			CompactEvery: *walCompact,
+			Metrics:      service.durableMetrics(),
+		})
+		if err != nil {
+			log.Fatalf("tppd: opening -data-dir: %v", err)
+		}
+		service.ConfigureDurability(store)
+		restored, quarantined, err := service.Rehydrate(context.Background())
+		if err != nil {
+			log.Fatalf("tppd: rehydrating sessions: %v", err)
+		}
+		log.Printf("tppd: durability on (%s): %d sessions rehydrated, %d quarantined",
+			*dataDir, restored, quarantined)
+	}
 
 	if *pprofAddr != "" {
 		// The debug listener gets its own address so /debug/pprof and

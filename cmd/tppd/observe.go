@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/telemetry"
 	"repro/internal/tpp"
 )
@@ -95,6 +96,18 @@ type serverMetrics struct {
 	warmRuns      *telemetry.Counter
 	coldRuns      *telemetry.Counter
 	warmFallbacks *telemetry.Counter
+
+	// Durability instruments. The WAL/snapshot ones are fed by
+	// internal/durable (wired through durableMetrics); the rehydration
+	// counter by the server's recovery path, the quarantine counter by
+	// Store.Quarantine.
+	walAppends          *telemetry.Counter
+	walFsync            *telemetry.Histogram
+	snapshotBytes       *telemetry.Histogram
+	sessionsRehydrated  *telemetry.Counter
+	sessionsQuarantined *telemetry.Counter
+
+	busyRejections *telemetry.Counter // 429s from an exhausted queue-wait budget
 }
 
 // newServerMetrics registers the daemon's instrument set on reg. The
@@ -155,9 +168,37 @@ func newServerMetrics(reg *telemetry.Registry, sessionsOpen, slotsInUse, slotsLi
 	m.warmFallbacks = reg.Counter("tppd_selection_fallbacks_total",
 		"Warm-start attempts abandoned for a cold re-run (already counted in mode=\"cold\").")
 
+	m.walAppends = reg.Counter("tpp_wal_appends_total",
+		"Session deltas appended to write-ahead logs.")
+	m.walFsync = reg.Histogram("tpp_wal_fsync_seconds",
+		"WAL fsync latency per synced append.",
+		telemetry.DurationBounds(), 1e9)
+	m.snapshotBytes = reg.Histogram("tpp_snapshot_bytes",
+		"Encoded size of each session snapshot written.",
+		telemetry.SizeBounds(), 1)
+	m.sessionsRehydrated = reg.Counter("tpp_sessions_rehydrated_total",
+		"Sessions restored from disk (boot rehydration and lazy on-miss loads).")
+	m.sessionsQuarantined = reg.Counter("tpp_sessions_quarantined_total",
+		"Sessions whose files were renamed aside after a failed recovery.")
+
+	m.busyRejections = reg.Counter("tppd_busy_rejections_total",
+		"Requests answered 429 because no selection slot freed within the queue-wait budget.")
+
 	reg.GaugeFunc("tppd_concurrency_in_use", "Selection slots occupied.", slotsInUse)
 	reg.GaugeFunc("tppd_concurrency_limit", "Configured selection-slot limit.", slotsLimit)
 	return m
+}
+
+// durableMetrics exposes the persistence instruments in the form
+// durable.Open wants, so /metrics and /v1/stats read the same counters the
+// store feeds.
+func (s *Server) durableMetrics() durable.Metrics {
+	return durable.Metrics{
+		WALAppends:    s.metrics.walAppends,
+		WALFsync:      s.metrics.walFsync,
+		SnapshotBytes: s.metrics.snapshotBytes,
+		Quarantined:   s.metrics.sessionsQuarantined,
+	}
 }
 
 // route returns the pre-registered instrument set for a matched mux
@@ -210,6 +251,14 @@ func (st serverStats) snapshot() statsResponse {
 		WarmRuns:           st.m.warmRuns.Load(),
 		ColdRuns:           st.m.coldRuns.Load(),
 		WarmFallbacks:      st.m.warmFallbacks.Load(),
+
+		WALAppends:          st.m.walAppends.Load(),
+		WALFsyncTotalMS:     float64(st.m.walFsync.Sum()) / 1e6,
+		SnapshotsWritten:    st.m.snapshotBytes.Count(),
+		SnapshotBytesTotal:  st.m.snapshotBytes.Sum(),
+		SessionsRehydrated:  st.m.sessionsRehydrated.Load(),
+		SessionsQuarantined: st.m.sessionsQuarantined.Load(),
+		BusyRejections:      st.m.busyRejections.Load(),
 	}
 }
 

@@ -10,10 +10,12 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/datasets"
+	"repro/internal/durable"
 	"repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/motif"
@@ -38,7 +40,11 @@ type Server struct {
 	maxTimeout time.Duration // server-side cap on per-request selection time
 	maxScale   int           // cap on dataset graph size a client may request
 	sem        chan struct{} // bounds concurrent selection runs
+	queueWait  time.Duration // 429 once no slot frees within this (0 = queue to deadline)
 	sessions   *sessionStore // long-lived named sessions (TTL-evicted)
+
+	store  *durable.Store // session persistence; nil = in-memory only
+	loadMu sync.Mutex     // serialises lazy on-miss rehydration from disk
 
 	mux      *http.ServeMux
 	registry *telemetry.Registry
@@ -98,6 +104,66 @@ func (s *Server) ConfigureLogging(logger *slog.Logger, slow time.Duration) {
 		s.logger = logger
 	}
 	s.slowReq = slow
+}
+
+// ConfigureBackpressure bounds how long a request may wait for a selection
+// slot: once every slot has stayed occupied for wait, the server answers
+// 429 with a Retry-After header instead of holding the request queued
+// until its deadline, so clients learn to back off while their deadline
+// budget is still intact. 0 keeps the queue-until-deadline behaviour.
+// Call before the first request.
+func (s *Server) ConfigureBackpressure(wait time.Duration) {
+	s.queueWait = wait
+}
+
+// errServerBusy reports that every selection slot stayed occupied for the
+// whole queue-wait budget.
+var errServerBusy = errors.New("all selection slots busy; retry later")
+
+// acquireSem takes a selection slot: immediately if one is free, otherwise
+// waiting up to the queue-wait budget (or the request deadline, whichever
+// ends first). The caller must release with <-s.sem on nil return.
+func (s *Server) acquireSem(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.queueWait <= 0 {
+		select {
+		case s.sem <- struct{}{}:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	t := time.NewTimer(s.queueWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		s.metrics.busyRejections.Inc()
+		return errServerBusy
+	}
+}
+
+// writeAcquireError maps a failed slot acquisition to the wire: busy
+// becomes 429 + Retry-After, a dead context follows the usual run-error
+// mapping (504/499).
+func (s *Server) writeAcquireError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errServerBusy) {
+		secs := int(s.queueWait / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		return
+	}
+	writeRunError(w, err)
 }
 
 // BeginDrain flips readiness: GET /v1/healthz answers 503 from here on, so
@@ -246,12 +312,11 @@ func (s *Server) handleProtect(w http.ResponseWriter, r *http.Request) {
 
 	// Bound the heavy work — graph materialisation, selection and released-
 	// graph assembly — by the concurrency semaphore; waiting respects the
-	// deadline. The slot is handed back before the response streams to the
-	// client, so a slow reader cannot pin a worker the CPU is done with.
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		writeRunError(w, ctx.Err())
+	// deadline and the queue-wait budget (429 once it runs out). The slot is
+	// handed back before the response streams to the client, so a slow
+	// reader cannot pin a worker the CPU is done with.
+	if err := s.acquireSem(ctx); err != nil {
+		s.writeAcquireError(w, err)
 		return
 	}
 	held := true
@@ -355,6 +420,20 @@ type statsResponse struct {
 	WarmRuns      int64 `json:"warm_runs"`
 	ColdRuns      int64 `json:"cold_runs"`
 	WarmFallbacks int64 `json:"warm_fallbacks"`
+
+	// Durability counters (all zero when -data-dir is off): WAL appends and
+	// their cumulative fsync cost, snapshots written and their cumulative
+	// size, and the boot/lazy rehydration outcome split.
+	WALAppends          int64   `json:"wal_appends"`
+	WALFsyncTotalMS     float64 `json:"wal_fsync_total_ms"`
+	SnapshotsWritten    int64   `json:"snapshots_written"`
+	SnapshotBytesTotal  int64   `json:"snapshot_bytes_total"`
+	SessionsRehydrated  int64   `json:"sessions_rehydrated"`
+	SessionsQuarantined int64   `json:"sessions_quarantined"`
+
+	// Requests rejected with 429 because no selection slot freed within the
+	// queue-wait budget.
+	BusyRejections int64 `json:"busy_rejections"`
 
 	MaxWorkers          int `json:"max_workers"`
 	MaxConcurrentInUse  int `json:"max_concurrent_in_use"`

@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/tpp"
@@ -42,6 +44,11 @@ type sessionRecord struct {
 	runs     int64
 	deltas   int64
 
+	// durable is the session's persistence handle (nil without -data-dir,
+	// or after an append error degraded the session to memory-only).
+	// Guarded by the record slot like everything else on the record.
+	durable *durable.Session
+
 	// Last values folded into the aggregate selection counters, so repeated
 	// protect calls on the same session add only the increment. Enumeration
 	// and delta timing need no folding: the per-request stage recorder
@@ -56,6 +63,16 @@ type sessionStore struct {
 	mu  sync.Mutex
 	m   map[string]*sessionRecord // guarded by mu
 	ttl time.Duration
+
+	// spill, when set, persists a session's final snapshot before eviction
+	// or shutdown removes it from memory; it is called with the record's
+	// slot held. Set by ConfigureDurability.
+	spill func(*sessionRecord)
+	// closeTimeout bounds how long close waits for any one session's slot
+	// (<=0 selects 5s); a wedged session is skipped, not waited on forever.
+	closeTimeout time.Duration
+	// wedged, when set, is told about sessions close gave up waiting for.
+	wedged func(id string)
 
 	stop chan struct{}
 	done chan struct{}
@@ -109,6 +126,12 @@ func (ss *sessionStore) janitor(interval time.Duration, evicted func(int)) {
 					continue
 				}
 				if !rec.gone && now.Sub(rec.lastUsed) > ss.ttl {
+					// With durability on, eviction spills the session to its
+					// final snapshot instead of discarding it; the files stay
+					// and an acquire-miss rehydrates it on demand.
+					if ss.spill != nil {
+						ss.spill(rec)
+					}
 					ss.remove(rec)
 					n++
 				}
@@ -121,19 +144,23 @@ func (ss *sessionStore) janitor(interval time.Duration, evicted func(int)) {
 	}
 }
 
-// add registers a new session under a fresh id.
-func (ss *sessionStore) add(rec *sessionRecord) string {
+// mintSessionID draws a fresh session id.
+func mintSessionID() string {
 	buf := make([]byte, 8)
 	if _, err := rand.Read(buf); err != nil {
 		panic(fmt.Sprintf("tppd: reading session id entropy: %v", err))
 	}
-	id := "s-" + hex.EncodeToString(buf)
-	rec.id = id
-	rec.slot = make(chan struct{}, 1)
+	return "s-" + hex.EncodeToString(buf)
+}
+
+// publish registers rec — id and slot already set — in the store. Minting
+// and publishing are split so the create path can persist the initial
+// snapshot (and a rehydration can replay the WAL) before the id is
+// reachable by concurrent requests.
+func (ss *sessionStore) publish(rec *sessionRecord) {
 	ss.mu.Lock()
-	ss.m[id] = rec
+	ss.m[rec.id] = rec
 	ss.mu.Unlock()
-	return id
 }
 
 // acquire returns the session locked for exclusive use. A nil record with
@@ -180,8 +207,12 @@ func (ss *sessionStore) open() int {
 	return len(ss.m)
 }
 
-// close stops the janitor and releases every session. Called after the HTTP
-// server has drained, so no handler still holds a record mutex for long.
+// close stops the janitor and releases every session in deterministic
+// (sorted-id) order, spilling each to its final snapshot when durability is
+// on. Called after the HTTP server has drained, so no handler should still
+// hold a record slot — but a wedged one must not hang shutdown, so each
+// wait is bounded by closeTimeout and a session that never frees is
+// skipped (its last durable snapshot, not its in-memory tail, survives).
 func (ss *sessionStore) close() {
 	select {
 	case <-ss.stop:
@@ -191,13 +222,30 @@ func (ss *sessionStore) close() {
 	<-ss.done
 	ss.mu.Lock()
 	recs := make([]*sessionRecord, 0, len(ss.m))
-	//lint:maporder-ok shutdown releases every session; order is immaterial
+	//lint:maporder-ok snapshot of every record; sorted by id below so release order is deterministic
 	for _, rec := range ss.m {
 		recs = append(recs, rec)
 	}
 	ss.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].id < recs[j].id })
+	timeout := ss.closeTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
 	for _, rec := range recs {
-		rec.slot <- struct{}{}
+		t := time.NewTimer(timeout)
+		select {
+		case rec.slot <- struct{}{}:
+			t.Stop()
+		case <-t.C:
+			if ss.wedged != nil {
+				ss.wedged(rec.id)
+			}
+			continue
+		}
+		if !rec.gone && ss.spill != nil {
+			ss.spill(rec)
+		}
 		ss.remove(rec)
 		<-rec.slot
 	}
@@ -296,13 +344,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
 	defer cancel()
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		writeRunError(w, ctx.Err())
+	if err := s.acquireSem(ctx); err != nil {
+		s.writeAcquireError(w, err)
 		return
 	}
+	defer func() { <-s.sem }()
 	session, lab, err := req.newSession(ctx, opts)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
@@ -314,6 +360,8 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	now := time.Now()
 	rec := &sessionRecord{
+		id:            mintSessionID(),
+		slot:          make(chan struct{}, 1),
 		session:       session,
 		lab:           lab,
 		pattern:       opts.pattern.String(),
@@ -321,13 +369,24 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		created:       now,
 		lastUsed:      now,
 	}
-	// The response is assembled before add publishes the record: once the
-	// id is out in the store, concurrent requests may already be mutating
-	// the session.
-	info := s.sessionInfo("", rec)
-	info.ID = s.sessions.add(rec)
+	// With durability on, the initial snapshot must be on disk before the
+	// id is handed out: a created session that vanished across a restart
+	// would break the "acked means durable" contract at its first moment.
+	if s.store != nil {
+		h, err := s.persistNewSession(ctx, rec)
+		if err != nil {
+			s.serverLogger().Error("tppd: persisting new session", "session", rec.id, "error", err)
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "persisting session: " + err.Error()})
+			return
+		}
+		rec.durable = h
+	}
+	// The response is assembled before publish: once the id is out in the
+	// store, concurrent requests may already be mutating the session.
+	info := s.sessionInfo(rec.id, rec)
+	s.sessions.publish(rec)
 	s.metrics.sessionsCreated.Inc()
-	annotateSession(r.Context(), info.ID)
+	annotateSession(r.Context(), rec.id)
 	writeJSON(w, http.StatusCreated, info)
 }
 
@@ -347,7 +406,7 @@ func (s *Server) sessionInfo(id string, rec *sessionRecord) sessionResponse {
 }
 
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
-	rec, err := s.sessions.acquire(r.Context(), r.PathValue("id"))
+	rec, err := s.getSession(r.Context(), r.PathValue("id"))
 	if err != nil {
 		writeRunError(w, err)
 		return
@@ -362,7 +421,7 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	rec, err := s.sessions.acquire(r.Context(), r.PathValue("id"))
+	rec, err := s.getSession(r.Context(), r.PathValue("id"))
 	if err != nil {
 		writeRunError(w, err)
 		return
@@ -372,6 +431,15 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	annotateSession(r.Context(), rec.id)
+	// Destroy the files while still holding the slot, so a concurrent
+	// request for the same id cannot rehydrate a half-deleted session: it
+	// blocks on the slot until the record is gone and the files are too.
+	if rec.durable != nil {
+		if err := rec.durable.Destroy(); err != nil {
+			s.serverLogger().Error("tppd: destroying session files", "session", rec.id, "error", err)
+		}
+		rec.durable = nil
+	}
 	s.sessions.remove(rec)
 	<-rec.slot
 	s.metrics.sessionsClosed.Inc()
@@ -396,10 +464,8 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 	// started.
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
 	defer cancel()
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		writeRunError(w, ctx.Err())
+	if err := s.acquireSem(ctx); err != nil {
+		s.writeAcquireError(w, err)
 		return
 	}
 	semHeld := true
@@ -410,7 +476,7 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	defer releaseSem()
-	rec, err := s.sessions.acquire(ctx, r.PathValue("id"))
+	rec, err := s.getSession(ctx, r.PathValue("id"))
 	if err != nil {
 		writeRunError(w, err)
 		return
@@ -445,6 +511,30 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 	// rest) before anything reads it again.
 	applyDeltaLabels(rec.lab, req.AddNodes, rep)
 	rec.deltas++
+	// Durability: the delta must be on the log (fsynced under -wal-sync)
+	// before the client sees the ack. An append failure means the delta is
+	// live in memory but will not survive a restart — the session degrades
+	// to memory-only, loudly, and the client gets a 500 so it knows the
+	// commit was not made durable.
+	if rec.durable != nil {
+		if err := rec.durable.AppendDelta(d, req.AddNodes); err != nil {
+			s.serverLogger().Error("tppd: WAL append failed; session durability degraded",
+				"session", rec.id, "error", err)
+			rec.durable.Close()
+			rec.durable = nil
+			writeJSON(w, http.StatusInternalServerError,
+				errorResponse{Error: "delta applied but not durably logged: " + err.Error()})
+			return
+		}
+		if rec.durable.ShouldCompact() {
+			// Compaction failure is not a client error: the log is intact,
+			// just long; retried at the next threshold crossing.
+			if err := s.compactSession(ctx, rec); err != nil {
+				s.serverLogger().Warn("tppd: WAL compaction failed; will retry",
+					"session", rec.id, "error", err)
+			}
+		}
+	}
 	s.metrics.deltasApplied.Inc()
 	s.metrics.nodesAdded.Add(int64(rep.NodesAdded))
 	s.metrics.nodesRemoved.Add(int64(rep.NodesRemoved))
@@ -626,10 +716,8 @@ func (s *Server) handleSessionProtect(w http.ResponseWriter, r *http.Request) {
 	// second, both handed back before the response write.
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
 	defer cancel()
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		writeRunError(w, ctx.Err())
+	if err := s.acquireSem(ctx); err != nil {
+		s.writeAcquireError(w, err)
 		return
 	}
 	semHeld := true
@@ -640,7 +728,7 @@ func (s *Server) handleSessionProtect(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	defer releaseSem()
-	rec, err := s.sessions.acquire(ctx, r.PathValue("id"))
+	rec, err := s.getSession(ctx, r.PathValue("id"))
 	if err != nil {
 		writeRunError(w, err)
 		return

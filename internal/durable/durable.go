@@ -1,0 +1,130 @@
+// Package durable persists tpp protection sessions across process
+// restarts: a compact versioned binary snapshot per session plus a
+// write-ahead log of the deltas applied since, so a crash loses nothing a
+// client was ever acked for.
+//
+// On-disk layout, one directory per store:
+//
+//	<dir>/<id>.snap        snapshot: magic "TPPS", version, body, CRC-32C
+//	<dir>/<id>.wal         delta log: magic "TPPW", version, framed entries
+//	<dir>/<id>.snap.tmp    in-flight snapshot write (removed on open)
+//	<dir>/quarantine/      sessions renamed aside after a failed recovery
+//
+// The snapshot captures a tpp.SessionState (graph as delta-coded sorted
+// adjacency rows, targets in priority order, resolved options, warm-start
+// selection state, counters and the live index's invariants) together with
+// the serving metadata cmd/tppd needs back (labels, created time, run
+// count). Each WAL frame is a length prefix, a CRC-32C of the payload, and
+// the payload itself: the entry's sequence number, the labels of any nodes
+// the delta adds, and the delta's binary encoding (dynamic.AppendBinary).
+// Appends are fsynced before the caller acks when Options.SyncWrites is
+// set.
+//
+// Compaction folds the log back into a fresh snapshot once it reaches
+// Options.CompactEvery entries: the snapshot is written to a temp file,
+// fsynced, renamed over the old one, the directory fsynced, and only then
+// is the WAL truncated. Every crash point is safe: a crash before the
+// rename leaves the old snapshot + full WAL; a crash between rename and
+// truncate leaves frames whose sequence numbers the new snapshot already
+// covers, and replay skips any prefix with seq <= snapshot.Seq.
+//
+// Recovery (Recover) decodes the snapshot, replays the WAL, truncates a
+// torn tail in place (ErrTornTail is informational — the prefix is good),
+// and returns typed errors for everything else so the caller can
+// quarantine the session instead of crashing: ErrCorruptSnapshot for a
+// snapshot that fails its checksum or structure, ErrCorruptWAL for
+// mid-log damage no torn-tail story explains (sequence gaps, frames whose
+// checksum passes but whose payload does not decode).
+//
+// All I/O goes through the FS seam so the fault-injection tests can fail,
+// tear or crash any write, rename or sync.
+package durable
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+var (
+	// ErrCorruptSnapshot reports a snapshot file that failed its magic,
+	// version, CRC or structural validation. The session should be
+	// quarantined.
+	ErrCorruptSnapshot = errors.New("durable: corrupt snapshot")
+	// ErrTornTail reports a WAL whose final frames are incomplete or fail
+	// their checksum — the expected signature of a crash mid-append. The
+	// frames before the tear are intact; Recover truncates the tear and
+	// carries on.
+	ErrTornTail = errors.New("durable: torn WAL tail")
+	// ErrCorruptWAL reports WAL damage that is not a torn tail: a bad
+	// header, a sequence discontinuity, or a frame whose checksum passes
+	// but whose payload does not decode. The session should be quarantined.
+	ErrCorruptWAL = errors.New("durable: corrupt WAL")
+)
+
+// FS is the filesystem seam every store operation goes through. The
+// production implementation is the os package (osFS); tests substitute
+// implementations that fail, tear or drop writes at chosen points.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Truncate(name string, size int64) error
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs a directory, making a completed rename durable.
+	SyncDir(name string) error
+}
+
+// File is the writable-file surface the store needs.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// osFS is the production FS: the os package, verbatim.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+const (
+	snapSuffix     = ".snap"
+	walSuffix      = ".wal"
+	tmpSuffix      = ".snap.tmp"
+	quarantineDir  = "quarantine"
+	defaultCompact = 256
+)
+
+func (st *Store) snapPath(id string) string { return filepath.Join(st.dir, id+snapSuffix) }
+func (st *Store) walPath(id string) string  { return filepath.Join(st.dir, id+walSuffix) }
+func (st *Store) tmpPath(id string) string  { return filepath.Join(st.dir, id+tmpSuffix) }

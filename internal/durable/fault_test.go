@@ -1,0 +1,246 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+)
+
+// hookFS wraps a real FS and lets a test fail or tear individual
+// operations: each non-nil hook replaces the underlying call.
+type hookFS struct {
+	FS
+	openFile func(name string, flag int, perm os.FileMode) (File, error)
+	rename   func(oldpath, newpath string) error
+	truncate func(name string, size int64) error
+}
+
+func (f *hookFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if f.openFile != nil {
+		return f.openFile(name, flag, perm)
+	}
+	return f.FS.OpenFile(name, flag, perm)
+}
+
+func (f *hookFS) Rename(oldpath, newpath string) error {
+	if f.rename != nil {
+		return f.rename(oldpath, newpath)
+	}
+	return f.FS.Rename(oldpath, newpath)
+}
+
+func (f *hookFS) Truncate(name string, size int64) error {
+	if f.truncate != nil {
+		return f.truncate(name, size)
+	}
+	return f.FS.Truncate(name, size)
+}
+
+// tornFile passes through at most limit bytes of each Write, then reports
+// failure — the on-disk shape of a crash (or a full disk) mid-write.
+type tornFile struct {
+	File
+	limit int
+}
+
+func (f *tornFile) Write(p []byte) (int, error) {
+	if len(p) > f.limit {
+		n, _ := f.File.Write(p[:f.limit])
+		f.limit = 0
+		return n, errors.New("injected: write torn mid-frame")
+	}
+	f.limit -= len(p)
+	return f.File.Write(p)
+}
+
+var errInjected = errors.New("injected fault")
+
+// seedSession creates a session with n committed deltas in dir using the
+// real filesystem, then closes it — the healthy starting point every fault
+// scenario damages.
+func seedSession(t *testing.T, dir, id string, n int) {
+	t.Helper()
+	st := openTestStore(t, dir, Options{SyncWrites: true})
+	h, err := st.Create(testSnapshot(t, id, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		d, labels := testDelta(i)
+		if err := h.AppendDelta(d, labels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultTornAppend: a WAL append that tears mid-frame fails the commit,
+// and a later recovery sees only the frames that were fully written — the
+// unacked delta vanishes, exactly the contract.
+func TestFaultTornAppend(t *testing.T) {
+	dir := t.TempDir()
+	seedSession(t, dir, "s-fault", 2)
+
+	fsys := &hookFS{FS: osFS{}}
+	fsys.openFile = func(name string, flag int, perm os.FileMode) (File, error) {
+		f, err := fsys.FS.OpenFile(name, flag, perm)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(name, walSuffix) && flag&os.O_APPEND != 0 {
+			return &tornFile{File: f, limit: 5}, nil
+		}
+		return f, nil
+	}
+	st := openTestStore(t, dir, Options{FS: fsys, SyncWrites: true})
+	_, entries, h, err := st.Recover("s-fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("recovered %d entries, want 2", len(entries))
+	}
+	d, labels := testDelta(2)
+	if err := h.AppendDelta(d, labels); err == nil {
+		t.Fatal("torn write must fail the append")
+	}
+	h.Close()
+
+	// A clean process recovering the same directory truncates the torn
+	// frame and replays only the two acked deltas.
+	st2 := openTestStore(t, dir, Options{SyncWrites: true})
+	_, entries, h2, err := st2.Recover("s-fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if len(entries) != 2 || h2.Seq() != 2 {
+		t.Fatalf("after torn append: %d entries at seq %d, want 2 at 2", len(entries), h2.Seq())
+	}
+	d3, labels3 := testDelta(3)
+	if err := h2.AppendDelta(d3, labels3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultCompactionRenameFails: if the snapshot rename fails, compaction
+// reports the error and the old snapshot + full WAL still recover — nothing
+// acked is lost.
+func TestFaultCompactionRenameFails(t *testing.T) {
+	dir := t.TempDir()
+	seedSession(t, dir, "s-fault", 2)
+
+	fsys := &hookFS{FS: osFS{}}
+	fsys.rename = func(oldpath, newpath string) error {
+		if strings.HasSuffix(newpath, snapSuffix) {
+			return errInjected
+		}
+		return fsys.FS.Rename(oldpath, newpath)
+	}
+	st := openTestStore(t, dir, Options{FS: fsys, SyncWrites: true})
+	snapBefore, _, h, err := st.Recover("s-fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := testSnapshot(t, "s-fault", 41)
+	snap.Seq = h.Seq()
+	if err := h.Compact(snap); !errors.Is(err, errInjected) {
+		t.Fatalf("Compact error = %v, want the injected rename failure", err)
+	}
+	h.Close()
+
+	st2 := openTestStore(t, dir, Options{SyncWrites: true})
+	got, entries, h2, err := st2.Recover("s-fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if got.Seq != snapBefore.Seq {
+		t.Fatalf("failed compaction moved the watermark: %d -> %d", snapBefore.Seq, got.Seq)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("failed compaction lost WAL entries: %d, want 2", len(entries))
+	}
+}
+
+// TestFaultCompactionTruncateFails: a crash between the snapshot rename and
+// the WAL truncate leaves stale frames the new snapshot already covers;
+// recovery skips them and finishes the truncate.
+func TestFaultCompactionTruncateFails(t *testing.T) {
+	dir := t.TempDir()
+	seedSession(t, dir, "s-fault", 2)
+
+	fsys := &hookFS{FS: osFS{}}
+	fsys.truncate = func(name string, size int64) error { return errInjected }
+	st := openTestStore(t, dir, Options{FS: fsys, SyncWrites: true})
+	_, _, h, err := st.Recover("s-fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := testSnapshot(t, "s-fault", 41)
+	snap.Seq = h.Seq()
+	if err := h.Compact(snap); !errors.Is(err, errInjected) {
+		t.Fatalf("Compact error = %v, want the injected truncate failure", err)
+	}
+	h.Close()
+
+	st2 := openTestStore(t, dir, Options{SyncWrites: true})
+	got, entries, h2, err := st2.Recover("s-fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if got.Seq != 2 || len(entries) != 0 {
+		t.Fatalf("stale frames not skipped: watermark %d, %d entries", got.Seq, len(entries))
+	}
+	fi, err := os.Stat(st2.walPath("s-fault"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != walHeaderLen {
+		t.Fatalf("recovery did not finish the truncate: WAL is %d bytes", fi.Size())
+	}
+}
+
+// TestFaultSnapshotTempWriteFails: a snapshot write that dies in the temp
+// file never disturbs the published snapshot, and the next Open sweeps the
+// debris.
+func TestFaultSnapshotTempWriteFails(t *testing.T) {
+	dir := t.TempDir()
+
+	fsys := &hookFS{FS: osFS{}}
+	fsys.openFile = func(name string, flag int, perm os.FileMode) (File, error) {
+		f, err := fsys.FS.OpenFile(name, flag, perm)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(name, tmpSuffix) {
+			return &tornFile{File: f, limit: 10}, nil
+		}
+		return f, nil
+	}
+	st := openTestStore(t, dir, Options{FS: fsys})
+	if _, err := st.Create(testSnapshot(t, "s-fault", 41)); err == nil {
+		t.Fatal("Create must fail when the snapshot temp write fails")
+	}
+	if _, err := os.Stat(st.tmpPath("s-fault")); err != nil {
+		t.Fatalf("expected the torn temp file to exist before reopen: %v", err)
+	}
+
+	st2 := openTestStore(t, dir, Options{})
+	if _, err := os.Stat(st2.tmpPath("s-fault")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale temp survived reopen: %v", err)
+	}
+	if st2.Exists("s-fault") {
+		t.Fatal("half-written session must not Exist")
+	}
+	// The directory is clean: the same id can be created for real.
+	h, err := st2.Create(testSnapshot(t, "s-fault", 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+}

@@ -1,0 +1,200 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/dynamic"
+)
+
+// WAL format, version 1:
+//
+//	"TPPW" | u8 version | frame*
+//	frame = u32le payloadLen | u32le crc32c(payload) | payload
+//	payload = uvarint seq | labels | delta (dynamic.AppendBinary)
+//	labels = uvarint count | (uvarint len | bytes)*
+//
+// labels are the node labels the delta's AddNodes arrivals were created
+// under — the one piece of serving state the binary delta (dense IDs only)
+// cannot reconstruct; replay folds them into the session's label table
+// exactly as the live handler did.
+//
+// Sequence numbers ascend by one per committed delta across the session's
+// whole life (the snapshot's Seq is the watermark). Replay skips a prefix
+// of frames with seq <= the snapshot's — the residue of a crash between
+// compaction's snapshot rename and its WAL truncate — and demands exact
+// +1 contiguity afterwards.
+
+var walMagic = [4]byte{'T', 'P', 'P', 'W'}
+
+const (
+	walVersion   = 1
+	walHeaderLen = 5
+	frameHdrLen  = 8
+	// maxFramePayload rejects absurd length prefixes before any copy. A
+	// session delta is bounded by the request-body cap far below this.
+	maxFramePayload = 1 << 30
+)
+
+func corruptWALf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptWAL, fmt.Sprintf(format, args...))
+}
+
+func tornTailf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrTornTail, fmt.Sprintf(format, args...))
+}
+
+func appendWALHeader(buf []byte) []byte {
+	buf = append(buf, walMagic[:]...)
+	return append(buf, walVersion)
+}
+
+// Entry is one recovered WAL record: a committed delta plus the labels its
+// AddNodes arrivals were created under.
+type Entry struct {
+	Seq    uint64
+	Labels []string
+	Delta  dynamic.Delta
+}
+
+// appendFrame appends one framed delta to buf.
+func appendFrame(buf []byte, seq uint64, labels []string, d dynamic.Delta) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(labels)))
+	for _, l := range labels {
+		buf = binary.AppendUvarint(buf, uint64(len(l)))
+		buf = append(buf, l...)
+	}
+	buf = d.AppendBinary(buf)
+	payload := buf[start+frameHdrLen:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// decodeLabels reads the labels section from a frame payload starting at
+// off, returning the labels and the offset just past them.
+func decodeLabels(payload []byte, off int) ([]string, int, error) {
+	n64, n := binary.Uvarint(payload[off:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("bad label count varint")
+	}
+	off += n
+	// Every label costs at least its one-byte length prefix; a count beyond
+	// the remaining bytes is hostile, rejected before allocating.
+	if n64 > uint64(len(payload)-off) {
+		return nil, 0, fmt.Errorf("label count %d exceeds frame size", n64)
+	}
+	var labels []string
+	if n64 > 0 {
+		labels = make([]string, 0, n64)
+	}
+	for i := uint64(0); i < n64; i++ {
+		l64, n := binary.Uvarint(payload[off:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("bad label length varint")
+		}
+		off += n
+		if l64 > uint64(len(payload)-off) {
+			return nil, 0, fmt.Errorf("label length %d exceeds frame size", l64)
+		}
+		labels = append(labels, string(payload[off:off+int(l64)]))
+		off += int(l64)
+	}
+	return labels, off, nil
+}
+
+// walReplay is the outcome of parsing one WAL image.
+type walReplay struct {
+	// entries are the decoded live records, in order: the frames with
+	// seq > snapSeq. lastSeq is the last one's sequence number (== snapSeq
+	// when none).
+	entries []Entry
+	lastSeq uint64
+	// frames counts every structurally valid frame seen, stale ones
+	// included.
+	frames int
+	// goodLen is the byte offset just past the last valid frame — the
+	// truncation point when torn is set.
+	goodLen int64
+	// torn is the ErrTornTail describing a damaged tail, nil for a clean
+	// log. The fields above describe the intact prefix either way.
+	torn error
+}
+
+// parseWAL decodes a WAL image against the snapshot watermark. Torn-tail
+// damage (a truncated or checksum-failing suffix, including a missing or
+// short header on an empty-but-created file) is reported via walReplay.torn
+// with the intact prefix intact; anything structurally wrong inside the
+// intact region — bad magic, unknown version, a frame that passes its CRC
+// but does not decode, a sequence discontinuity — returns ErrCorruptWAL.
+func parseWAL(data []byte, snapSeq uint64) (walReplay, error) {
+	rep := walReplay{lastSeq: snapSeq}
+	if len(data) < walHeaderLen {
+		// A header never partially syncs in practice, but a crash between
+		// file creation and the header write can leave it short; treat it
+		// like a torn (empty) log rather than corruption.
+		rep.goodLen = 0
+		rep.torn = tornTailf("short header (%d bytes)", len(data))
+		return rep, nil
+	}
+	if [4]byte(data[:4]) != walMagic {
+		return rep, corruptWALf("bad magic %q", data[:4])
+	}
+	if v := data[4]; v != walVersion {
+		return rep, corruptWALf("unknown WAL version %d", v)
+	}
+	rep.goodLen = walHeaderLen
+	off := walHeaderLen
+	skipping := true // a stale prefix (seq <= snapSeq) is legal, once
+	for off < len(data) {
+		if len(data)-off < frameHdrLen {
+			rep.torn = tornTailf("truncated frame header at offset %d", off)
+			return rep, nil
+		}
+		plen := binary.LittleEndian.Uint32(data[off:])
+		want := binary.LittleEndian.Uint32(data[off+4:])
+		if plen > maxFramePayload {
+			return rep, corruptWALf("frame at offset %d claims %d payload bytes", off, plen)
+		}
+		if uint64(len(data)-off-frameHdrLen) < uint64(plen) {
+			rep.torn = tornTailf("truncated frame payload at offset %d", off)
+			return rep, nil
+		}
+		payload := data[off+frameHdrLen : off+frameHdrLen+int(plen)]
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			rep.torn = tornTailf("frame checksum mismatch at offset %d: file %08x, computed %08x", off, want, got)
+			return rep, nil
+		}
+		// The frame is intact: damage from here on is corruption, not tear.
+		seq, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return rep, corruptWALf("bad sequence varint at offset %d", off)
+		}
+		labels, lend, err := decodeLabels(payload, n)
+		if err != nil {
+			return rep, corruptWALf("frame seq %d: %v", seq, err)
+		}
+		d, err := dynamic.DecodeDelta(payload[lend:])
+		if err != nil {
+			return rep, corruptWALf("frame seq %d: %v", seq, err)
+		}
+		switch {
+		case seq <= snapSeq && skipping:
+			// Pre-watermark residue of an interrupted compaction.
+		case seq == rep.lastSeq+1:
+			skipping = false
+			rep.entries = append(rep.entries, Entry{Seq: seq, Labels: labels, Delta: d})
+			rep.lastSeq = seq
+		default:
+			return rep, corruptWALf("frame seq %d after seq %d (snapshot watermark %d)", seq, rep.lastSeq, snapSeq)
+		}
+		rep.frames++
+		off += frameHdrLen + int(plen)
+		rep.goodLen = int64(off)
+	}
+	return rep, nil
+}

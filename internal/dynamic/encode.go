@@ -1,0 +1,181 @@
+package dynamic
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Binary delta encoding — the WAL payload format of internal/durable.
+//
+// A delta is encoded as a version byte followed by the six field groups in
+// struct order, each as a uvarint count plus uvarint node IDs (edges as an
+// ID pair). Node IDs are dense non-negative int32s, so uvarints keep
+// steady-state session deltas (small IDs, few mutations) to a handful of
+// bytes per mutation. The encoding carries the delta exactly as given —
+// canonicalization happens where it always has, inside Apply — so a decoded
+// delta replays byte-identically through the same code path the live
+// session used.
+
+// deltaEncodingVersion is the current binary layout. Bump on any change;
+// decoders reject versions they do not know.
+const deltaEncodingVersion = 1
+
+// ErrCorrupt is wrapped by every binary-decode failure, so recovery code can
+// distinguish a damaged WAL payload (quarantine the session) from a delta
+// that decoded fine but no longer validates (dynamic.ErrInvalid).
+var ErrCorrupt = errors.New("dynamic: corrupt delta encoding")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// AppendBinary appends the delta's binary encoding to buf and returns the
+// extended slice. Appending into a reused buffer keeps a steady-state
+// append loop allocation-free once the buffer has grown to its working size.
+func (d Delta) AppendBinary(buf []byte) []byte {
+	buf = append(buf, deltaEncodingVersion)
+	buf = appendEdges(buf, d.Insert)
+	buf = appendEdges(buf, d.Remove)
+	buf = binary.AppendUvarint(buf, uint64(d.AddNodes))
+	buf = binary.AppendUvarint(buf, uint64(len(d.RemoveNodes)))
+	for _, n := range d.RemoveNodes {
+		buf = binary.AppendUvarint(buf, uint64(n))
+	}
+	buf = appendEdges(buf, d.AddTargets)
+	buf = appendEdges(buf, d.DropTargets)
+	return buf
+}
+
+func appendEdges(buf []byte, es []graph.Edge) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(es)))
+	for _, e := range es {
+		buf = binary.AppendUvarint(buf, uint64(e.U))
+		buf = binary.AppendUvarint(buf, uint64(e.V))
+	}
+	return buf
+}
+
+// DecodeDelta decodes one AppendBinary encoding. The whole input must be
+// consumed — trailing bytes are corruption, not padding. Failures wrap
+// ErrCorrupt and never panic; every count is validated against the bytes
+// actually present before anything is allocated, so a hostile length prefix
+// cannot make the decoder allocate unboundedly.
+func DecodeDelta(data []byte) (Delta, error) {
+	r := byteReader{data: data}
+	ver, err := r.byte()
+	if err != nil {
+		return Delta{}, err
+	}
+	if ver != deltaEncodingVersion {
+		return Delta{}, corruptf("unknown encoding version %d", ver)
+	}
+	var d Delta
+	if d.Insert, err = r.edges("insert"); err != nil {
+		return Delta{}, err
+	}
+	if d.Remove, err = r.edges("remove"); err != nil {
+		return Delta{}, err
+	}
+	addNodes, err := r.uvarint()
+	if err != nil {
+		return Delta{}, err
+	}
+	if addNodes > math.MaxInt32 {
+		return Delta{}, corruptf("add_nodes count %d out of range", addNodes)
+	}
+	d.AddNodes = int(addNodes)
+	n, err := r.count("remove_nodes", 1)
+	if err != nil {
+		return Delta{}, err
+	}
+	if n > 0 {
+		d.RemoveNodes = make([]graph.NodeID, n)
+		for i := range d.RemoveNodes {
+			if d.RemoveNodes[i], err = r.nodeID(); err != nil {
+				return Delta{}, err
+			}
+		}
+	}
+	if d.AddTargets, err = r.edges("add_targets"); err != nil {
+		return Delta{}, err
+	}
+	if d.DropTargets, err = r.edges("drop_targets"); err != nil {
+		return Delta{}, err
+	}
+	if len(r.data) != r.off {
+		return Delta{}, corruptf("%d trailing bytes after delta", len(r.data)-r.off)
+	}
+	return d, nil
+}
+
+// byteReader is a bounds-checked cursor over an encoded delta.
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+func (r *byteReader) byte() (byte, error) {
+	if r.off >= len(r.data) {
+		return 0, corruptf("truncated at offset %d", r.off)
+	}
+	b := r.data[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, corruptf("bad uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// count reads a length prefix and rejects any value whose elements (at
+// least minBytes encoded bytes each) could not fit in the remaining input.
+func (r *byteReader) count(field string, minBytes int) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64((len(r.data)-r.off)/minBytes) {
+		return 0, corruptf("%s count %d exceeds remaining input", field, v)
+	}
+	return int(v), nil
+}
+
+func (r *byteReader) nodeID() (graph.NodeID, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 {
+		return 0, corruptf("node id %d out of range", v)
+	}
+	return graph.NodeID(v), nil
+}
+
+func (r *byteReader) edges(field string) ([]graph.Edge, error) {
+	n, err := r.count(field, 2)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]graph.Edge, n)
+	for i := range out {
+		if out[i].U, err = r.nodeID(); err != nil {
+			return nil, err
+		}
+		if out[i].V, err = r.nodeID(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
