@@ -11,8 +11,9 @@ import (
 
 // TestBackpressure429 pins the graceful-degradation contract: when every
 // selection slot stays busy past the configured wait, the server answers
-// 429 with a Retry-After hint instead of queueing the request until its
-// deadline — and recovers to normal service the moment a slot frees.
+// 429 with a Retry-After hint and the shard's queue depth instead of
+// queueing the request until its deadline — and recovers to normal service
+// the moment a slot frees.
 func TestBackpressure429(t *testing.T) {
 	srv := NewServer(2, 1<<20, 30*time.Second, 0, 0)
 	t.Cleanup(srv.Close)
@@ -21,8 +22,11 @@ func TestBackpressure429(t *testing.T) {
 	t.Cleanup(ts.Close)
 
 	// Occupy both selection slots, as two long-running selections would.
-	srv.sem <- struct{}{}
-	srv.sem <- struct{}{}
+	// NewServer is the single-shard configuration, so shard 0 is the whole
+	// work queue.
+	sh := srv.sessions.shards[0]
+	sh.sem <- struct{}{}
+	sh.sem <- struct{}{}
 
 	req := protectRequest{
 		Edges:   quickstartEdges,
@@ -37,9 +41,19 @@ func TestBackpressure429(t *testing.T) {
 	if err != nil || retryAfter < 1 {
 		t.Fatalf("Retry-After = %q, want an integer >= 1", resp.Header.Get("Retry-After"))
 	}
-	var e errorResponse
-	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+	var busy struct {
+		Error             string `json:"error"`
+		QueueDepth        *int64 `json:"queue_depth"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	if err := json.Unmarshal(body, &busy); err != nil || busy.Error == "" {
 		t.Fatalf("429 body %q is not an error payload: %v", body, err)
+	}
+	if busy.QueueDepth == nil {
+		t.Fatalf("429 body %q lacks the queue_depth field", body)
+	}
+	if busy.RetryAfterSeconds != retryAfter {
+		t.Fatalf("body retry_after_seconds %d disagrees with Retry-After header %d", busy.RetryAfterSeconds, retryAfter)
 	}
 
 	// Session creation degrades the same way — it needs a slot too.
@@ -63,12 +77,12 @@ func TestBackpressure429(t *testing.T) {
 	}
 
 	// A freed slot restores normal service immediately.
-	<-srv.sem
+	<-sh.sem
 	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/protect", req)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("after slot freed: status %d, want 200: %s", resp.StatusCode, body)
 	}
-	<-srv.sem
+	<-sh.sem
 }
 
 // TestBackpressureZeroWaitQueues: queue-wait 0 preserves the original
@@ -81,10 +95,11 @@ func TestBackpressureZeroWaitQueues(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 
-	srv.sem <- struct{}{} // saturate; the goroutine frees it mid-request
+	sh := srv.sessions.shards[0]
+	sh.sem <- struct{}{} // saturate; the goroutine frees it mid-request
 	go func() {
 		time.Sleep(100 * time.Millisecond)
-		<-srv.sem
+		<-sh.sem
 	}()
 	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/protect", protectRequest{
 		Edges:   quickstartEdges,
@@ -96,5 +111,35 @@ func TestBackpressureZeroWaitQueues(t *testing.T) {
 	}
 	if got := srv.metrics.busyRejections.Load(); got != 0 {
 		t.Fatalf("queue-until-deadline mode rejected %d requests", got)
+	}
+}
+
+// TestRetryAfterFromEWMA pins the Retry-After derivation: before any
+// completion the configured queue-wait budget is the only signal; after
+// observations the estimate is the EWMA service time times the queue ahead
+// of the client, spread over the shard's slots, clamped to [1, 60].
+func TestRetryAfterFromEWMA(t *testing.T) {
+	sh := &sessionShard{sem: make(chan struct{}, 2)}
+	if got := sh.retryAfterSeconds(5 * time.Second); got != 5 {
+		t.Fatalf("no-observation fallback = %ds, want the 5s queue-wait", got)
+	}
+	if got := sh.retryAfterSeconds(0); got != 1 {
+		t.Fatalf("fallback floor = %ds, want 1", got)
+	}
+	sh.observeService(4 * time.Second) // first sample seeds the EWMA
+	sh.waiters.Store(1)
+	// (1 waiter + this client) * 4s over 2 slots = 4s.
+	if got := sh.retryAfterSeconds(time.Second); got != 4 {
+		t.Fatalf("EWMA estimate = %ds, want 4", got)
+	}
+	sh.waiters.Store(1000)
+	if got := sh.retryAfterSeconds(time.Second); got != 60 {
+		t.Fatalf("backlogged estimate = %ds, want the 60s clamp", got)
+	}
+	// Later samples move the mean an eighth of the distance per completion.
+	sh.waiters.Store(0)
+	sh.observeService(12 * time.Second)
+	if got := sh.ewmaNS.Load(); got != int64(5*time.Second) {
+		t.Fatalf("EWMA after 4s then 12s = %v, want 5s", time.Duration(got))
 	}
 }

@@ -74,7 +74,13 @@ func (s *Server) Rehydrate(ctx context.Context) (restored, quarantined int, err 
 		if rec == nil {
 			continue
 		}
+		// Measure before publish (the record is not yet reachable, so no
+		// slot is needed), account after — boot rehydration fills the
+		// budget back up and may itself trigger spills if the state on
+		// disk outgrew -mem-budget since the last run.
+		bytes := sessionFootprint(rec)
 		s.sessions.publish(rec)
+		s.accountSession(rec, bytes)
 		restored++
 	}
 	return restored, quarantined, nil
@@ -98,7 +104,12 @@ func (s *Server) getSession(ctx context.Context, id string) (*sessionRecord, err
 	}
 	rec, lerr := s.loadSession(ctx, id)
 	if rec != nil {
+		// Footprint is measured pre-publish (no slot needed yet) and
+		// accounted after, like boot rehydration: a lazy load can push the
+		// shard over budget and spill a colder session to make room.
+		bytes := sessionFootprint(rec)
 		s.sessions.publish(rec)
+		s.accountSession(rec, bytes)
 	}
 	s.loadMu.Unlock()
 	if lerr != nil || rec == nil {

@@ -31,10 +31,28 @@
 // torn WAL tails are truncated, unrecoverable sessions are quarantined
 // aside and the server keeps serving.
 //
-// When all -max-concurrent selection slots stay busy for -queue-wait, new
+// The session tier is sharded (-shards, default GOMAXPROCS): each shard
+// owns its slice of the id space — map, lock, selection slots, bounded
+// queue and memory budget — with session ids placed by a consistent-hash
+// ring. -shards 1 is the old single-map, single-semaphore architecture.
+// With -mem-budget set (needs -data-dir), each shard spills its coldest
+// idle sessions to their durable snapshots when admitting more would
+// exceed its budget slice; spilled sessions rehydrate lazily on next
+// touch, bit-identical.
+//
+// With -route set, the same binary serves instead as a thin
+// consistent-hash routing proxy over a fleet of backend tppd processes:
+// the router mints session ids, forwards each session's whole life to the
+// backend owning its ring position (X-Tppd-Session-Id carries the minted
+// id down), round-robins keyless work across healthy backends, and pins a
+// down backend's sessions behind 503 + Retry-After rather than re-routing
+// them away from their durable state.
+//
+// When all of a shard's selection slots stay busy for -queue-wait, new
 // work is rejected with 429 + Retry-After instead of queueing until the
 // request deadline, so clients back off while their own deadline budget is
-// still intact (0 restores queue-until-deadline).
+// still intact (0 restores queue-until-deadline). The 429 body reports the
+// shard's queue_depth; Retry-After derives from its service-time EWMA.
 //
 // Every request is logged through log/slog with a request id, the matched
 // route, the session and engine in play, status, latency and a per-stage
@@ -78,15 +96,18 @@ import (
 func main() {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
-		maxConcurrent = flag.Int("max-concurrent", runtime.GOMAXPROCS(0), "max selections running at once")
+		maxConcurrent = flag.Int("max-concurrent", runtime.GOMAXPROCS(0), "max selections running at once (divided across -shards)")
 		maxBody       = flag.Int64("max-body", 32<<20, "max request body bytes")
 		reqTimeout    = flag.Duration("request-timeout", time.Minute, "per-request selection time cap")
 		maxScale      = flag.Int("max-dataset-scale", defaultMaxScale, "max node count for server-side dataset graphs")
 		sessionTTL    = flag.Duration("session-ttl", 30*time.Minute, "evict named sessions idle for longer (0 disables)")
+		shards        = flag.Int("shards", runtime.GOMAXPROCS(0), "session shards: independent session maps, work queues and memory budgets (1 = the single-lock tier)")
+		memBudget     = flag.String("mem-budget", "0", "total resident session memory budget in bytes, k/m/g suffix allowed; cold sessions spill to -data-dir snapshots (0 disables)")
 		dataDir       = flag.String("data-dir", "", "persist sessions here (snapshot + delta WAL per session, rehydrated on boot); empty disables durability")
 		walSync       = flag.Bool("wal-sync", true, "fsync each WAL append before acking the delta")
 		walCompact    = flag.Int("wal-compact", 256, "fold a session's WAL into a fresh snapshot every N deltas")
 		queueWait     = flag.Duration("queue-wait", time.Second, "reject with 429 when no selection slot frees within this (0 queues until the request deadline)")
+		route         = flag.String("route", "", "comma-separated backend base URLs; serve as a consistent-hash routing proxy over them instead of a session tier")
 		pprofAddr     = flag.String("pprof", "", "serve the debug listener (pprof, expvar, /metrics) on this address (empty disables)")
 		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn or error (debug shows every request)")
 		slowReq       = flag.Duration("slow-request", 2*time.Second, "log requests slower than this at warn with a stage breakdown (0 disables)")
@@ -100,9 +121,31 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(logger)
 
+	if *route != "" {
+		runRouter(*addr, *route, logger)
+		return
+	}
+
+	budgetBytes, err := parseByteSize(*memBudget)
+	if err != nil {
+		log.Fatalf("tppd: -mem-budget: %v", err)
+	}
+	if err := validateConfig(daemonConfig{
+		queueWait:  *queueWait,
+		sessionTTL: *sessionTTL,
+		walCompact: *walCompact,
+		shards:     *shards,
+		memBudget:  budgetBytes,
+	}); err != nil {
+		log.Fatalf("tppd: %v", err)
+	}
+
 	service := NewServer(*maxConcurrent, *maxBody, *reqTimeout, *maxScale, *sessionTTL)
 	service.ConfigureLogging(logger, *slowReq)
 	service.ConfigureBackpressure(*queueWait)
+	if err := service.ConfigureSharding(*shards, budgetBytes); err != nil {
+		log.Fatalf("tppd: %v", err)
+	}
 	if *dataDir != "" {
 		store, err := durable.Open(*dataDir, durable.Options{
 			SyncWrites:   *walSync,
@@ -146,8 +189,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("tppd: listening on %s (max-concurrent %d, request-timeout %s)",
-		*addr, *maxConcurrent, *reqTimeout)
+	log.Printf("tppd: listening on %s (max-concurrent %d, shards %d, mem-budget %d, request-timeout %s)",
+		*addr, *maxConcurrent, *shards, budgetBytes, *reqTimeout)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()
 

@@ -108,6 +108,12 @@ type serverMetrics struct {
 	sessionsQuarantined *telemetry.Counter
 
 	busyRejections *telemetry.Counter // 429s from an exhausted queue-wait budget
+
+	// Sharded-tier aggregates (the per-shard tpp_shard_* series are
+	// registered by ConfigureSharding): LRU spills driven by the memory
+	// budget, and creates rejected by admission control.
+	sessionsSpilled *telemetry.Counter
+	memRejections   *telemetry.Counter
 }
 
 // newServerMetrics registers the daemon's instrument set on reg. The
@@ -183,6 +189,10 @@ func newServerMetrics(reg *telemetry.Registry, sessionsOpen, slotsInUse, slotsLi
 
 	m.busyRejections = reg.Counter("tppd_busy_rejections_total",
 		"Requests answered 429 because no selection slot freed within the queue-wait budget.")
+	m.sessionsSpilled = reg.Counter("tppd_sessions_spilled_total",
+		"Cold sessions spilled to their durable snapshots (or discarded) by the memory budget.")
+	m.memRejections = reg.Counter("tppd_mem_rejections_total",
+		"Session creates answered 429 because the shard's memory budget could not admit them.")
 
 	reg.GaugeFunc("tppd_concurrency_in_use", "Selection slots occupied.", slotsInUse)
 	reg.GaugeFunc("tppd_concurrency_limit", "Configured selection-slot limit.", slotsLimit)
@@ -259,6 +269,8 @@ func (st serverStats) snapshot() statsResponse {
 		SessionsRehydrated:  st.m.sessionsRehydrated.Load(),
 		SessionsQuarantined: st.m.sessionsQuarantined.Load(),
 		BusyRejections:      st.m.busyRejections.Load(),
+		SessionsSpilled:     st.m.sessionsSpilled.Load(),
+		MemRejections:       st.m.memRejections.Load(),
 	}
 }
 

@@ -1,0 +1,358 @@
+package main
+
+// Router mode (-route): the same binary serving as a thin consistent-hash
+// routing proxy over a fleet of backend tppd processes. Every session id
+// maps to exactly one backend by ring position — the same ring the
+// in-process shards use — so a session's whole life (create, deltas,
+// protects, delete, and its durable files) stays on one backend. The hash
+// is computed once per request; the body streams through untouched.
+//
+// Creation is the one asymmetry: the backend used to mint the id, but the
+// router must know the id before it can pick the backend. So the router
+// mints the id (same shape, same entropy) and hands it down in the
+// X-Tppd-Session-Id header; the backend validates the shape and honours it.
+//
+// Sessions are pinned: when a backend is unhealthy, requests for its
+// sessions answer 503 + Retry-After rather than failing over — the session
+// state (and its data dir) lives there and nowhere else. Keyless work
+// (one-shot /v1/protect, /v1/datasets) round-robins across healthy
+// backends. Health comes from each backend's readiness probe
+// (GET /v1/healthz), swept once per second.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"log/slog"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+)
+
+// routerBackend is one proxied tppd process.
+type routerBackend struct {
+	name    string // ring member: the normalised base URL
+	target  *url.URL
+	proxy   *httputil.ReverseProxy
+	healthy atomic.Bool
+	proxied *telemetry.Counter
+}
+
+// router is the consistent-hash routing proxy.
+type router struct {
+	ring     *shard.Ring
+	backends []*routerBackend // index-aligned with ring.Members()
+
+	// Health sweep cadence and per-probe timeout; fixed after newRouter
+	// (tests shorten them before start).
+	interval     time.Duration
+	probeTimeout time.Duration
+	client       *http.Client
+
+	registry *telemetry.Registry
+	logger   *slog.Logger
+	draining atomic.Bool
+	rr       atomic.Uint64 // round-robin cursor for keyless work
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// newRouter builds the proxy over the given backend base URLs. The ring is
+// a pure function of the URL list: every router configured with the same
+// list routes every session identically, so the fleet can run any number
+// of router replicas. Health starts pessimistic (all down) until the first
+// sweep; call checkHealth before serving.
+func newRouter(backendURLs []string, logger *slog.Logger) (*router, error) {
+	if len(backendURLs) == 0 {
+		return nil, fmt.Errorf("tppd: -route needs at least one backend URL")
+	}
+	members := make([]string, 0, len(backendURLs))
+	backends := make([]*routerBackend, 0, len(backendURLs))
+	reg := telemetry.NewRegistry()
+	for _, raw := range backendURLs {
+		u, err := url.Parse(strings.TrimRight(raw, "/"))
+		if err != nil {
+			return nil, fmt.Errorf("tppd: backend URL %q: %w", raw, err)
+		}
+		if u.Scheme != "http" && u.Scheme != "https" {
+			return nil, fmt.Errorf("tppd: backend URL %q: want http or https", raw)
+		}
+		be := &routerBackend{name: u.String(), target: u}
+		be.proxy = httputil.NewSingleHostReverseProxy(u)
+		be.proxy.FlushInterval = -1 // stream responses through immediately
+		be.proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+			logger.Error("tppd: proxying to backend", "backend", be.name, "path", r.URL.Path, "error", err)
+			writeJSON(w, http.StatusBadGateway, errorResponse{Error: "backend unreachable: " + be.name})
+		}
+		lbl := telemetry.Label{Key: "backend", Value: be.name}
+		be.proxied = reg.Counter("tppr_requests_proxied_total", "Requests proxied per backend.", lbl)
+		reg.GaugeFunc("tppr_backend_healthy", "Backend readiness (1 = healthy).",
+			func() float64 {
+				if be.healthy.Load() {
+					return 1
+				}
+				return 0
+			}, lbl)
+		members = append(members, be.name)
+		backends = append(backends, be)
+	}
+	ring, err := shard.NewRing(members, 0)
+	if err != nil {
+		return nil, fmt.Errorf("tppd: building backend ring: %w", err)
+	}
+	return &router{
+		ring:         ring,
+		backends:     backends,
+		interval:     time.Second,
+		probeTimeout: 500 * time.Millisecond,
+		client:       &http.Client{},
+		registry:     reg,
+		logger:       logger,
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}, nil
+}
+
+// ownerOf maps a session id to its backend. One hash per request.
+func (rt *router) ownerOf(id string) *routerBackend {
+	return rt.backends[rt.ring.OwnerIndex(id)]
+}
+
+// nextHealthy round-robins the healthy backends for keyless work; nil when
+// the whole fleet is down.
+func (rt *router) nextHealthy() *routerBackend {
+	n := len(rt.backends)
+	start := int(rt.rr.Add(1))
+	for i := 0; i < n; i++ {
+		be := rt.backends[(start+i)%n]
+		if be.healthy.Load() {
+			return be
+		}
+	}
+	return nil
+}
+
+// checkHealth sweeps every backend's readiness probe once.
+func (rt *router) checkHealth(ctx context.Context) {
+	for _, be := range rt.backends {
+		probeCtx, cancel := context.WithTimeout(ctx, rt.probeTimeout)
+		req, err := http.NewRequestWithContext(probeCtx, http.MethodGet, be.target.String()+"/v1/healthz", nil)
+		if err != nil {
+			cancel()
+			be.healthy.Store(false)
+			continue
+		}
+		resp, err := rt.client.Do(req)
+		up := err == nil && resp.StatusCode == http.StatusOK
+		if err == nil {
+			resp.Body.Close()
+		}
+		cancel()
+		if up != be.healthy.Load() {
+			rt.logger.Info("tppd: backend health changed", "backend", be.name, "healthy", up)
+		}
+		be.healthy.Store(up)
+	}
+}
+
+// start runs the periodic health sweep until closeRouter.
+func (rt *router) start() {
+	go func() {
+		defer close(rt.done)
+		ticker := time.NewTicker(rt.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-rt.stop:
+				return
+			case <-ticker.C:
+				rt.checkHealth(context.Background())
+			}
+		}
+	}()
+}
+
+// closeRouter stops the health sweep.
+func (rt *router) closeRouter() {
+	select {
+	case <-rt.stop:
+	default:
+		close(rt.stop)
+	}
+	<-rt.done
+}
+
+// forward proxies the request to be, counting it.
+func (rt *router) forward(w http.ResponseWriter, r *http.Request, be *routerBackend) {
+	be.proxied.Inc()
+	be.proxy.ServeHTTP(w, r)
+}
+
+// unavailable answers for a down backend: sessions are pinned to their
+// owner (its data dir holds their durable state), so the only honest
+// answer is "retry once it returns", never a silent re-route that would
+// fork the session.
+func (rt *router) unavailable(w http.ResponseWriter, be *routerBackend) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable,
+		errorResponse{Error: fmt.Sprintf("backend %s is unhealthy; its sessions are pinned there, retry later", be.name)})
+}
+
+// handleCreate mints the session id, picks the owner by ring position and
+// forwards with the id in the routed-id header.
+func (rt *router) handleCreate(w http.ResponseWriter, r *http.Request) {
+	id := mintSessionID()
+	be := rt.ownerOf(id)
+	if !be.healthy.Load() {
+		rt.unavailable(w, be)
+		return
+	}
+	r.Header.Set(routedSessionIDHeader, id)
+	rt.forward(w, r, be)
+}
+
+// handleSession forwards a /v1/sessions/{id}... request to the id's owner.
+func (rt *router) handleSession(w http.ResponseWriter, r *http.Request) {
+	be := rt.ownerOf(r.PathValue("id"))
+	if !be.healthy.Load() {
+		rt.unavailable(w, be)
+		return
+	}
+	rt.forward(w, r, be)
+}
+
+// handleAny forwards keyless work to the next healthy backend.
+func (rt *router) handleAny(w http.ResponseWriter, r *http.Request) {
+	be := rt.nextHealthy()
+	if be == nil {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "no healthy backends"})
+		return
+	}
+	rt.forward(w, r, be)
+}
+
+// routerBackendStatus is one backend's line in the router stats.
+type routerBackendStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Proxied int64  `json:"proxied_requests"`
+}
+
+// routerStatsResponse is GET /v1/stats in router mode: fleet health, not
+// selection counters — those live on each backend's own /v1/stats.
+type routerStatsResponse struct {
+	Mode            string                `json:"mode"`
+	HealthyBackends int                   `json:"healthy_backends"`
+	Backends        []routerBackendStatus `json:"backends"`
+}
+
+func (rt *router) handleStats(w http.ResponseWriter, _ *http.Request) {
+	resp := routerStatsResponse{Mode: "router"}
+	for _, be := range rt.backends {
+		up := be.healthy.Load()
+		if up {
+			resp.HealthyBackends++
+		}
+		resp.Backends = append(resp.Backends, routerBackendStatus{
+			URL:     be.name,
+			Healthy: up,
+			Proxied: be.proxied.Load(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz: the router is ready while it is not draining and at least
+// one backend can take work.
+func (rt *router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if rt.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	for _, be := range rt.backends {
+		if be.healthy.Load() {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+			return
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no healthy backends"})
+}
+
+// Handler returns the router's route table. Session routes mirror the
+// serving mode's table one for one, so clients cannot tell a router from a
+// single tppd (modulo the router-only /v1/stats shape).
+func (rt *router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", rt.handleCreate)
+	mux.HandleFunc("GET /v1/sessions/{id}", rt.handleSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/delta", rt.handleSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/protect", rt.handleSession)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", rt.handleSession)
+	mux.HandleFunc("POST /v1/protect", rt.handleAny)
+	mux.HandleFunc("GET /v1/datasets", rt.handleAny)
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
+	mux.Handle("GET /metrics", rt.registry.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// runRouter is main's router-mode body: build the proxy over the -route
+// list, sweep health once before serving, then serve until a signal drains
+// it — the same graceful-shutdown shape as the session tier.
+func runRouter(addr, routeList string, logger *slog.Logger) {
+	var urls []string
+	for _, raw := range strings.Split(routeList, ",") {
+		if raw = strings.TrimSpace(raw); raw != "" {
+			urls = append(urls, raw)
+		}
+	}
+	rt, err := newRouter(urls, logger)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+	rt.checkHealth(context.Background())
+	rt.start()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	log.Printf("tppd: routing %d backends on %s", len(urls), addr)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		log.Fatalf("tppd: %v", err)
+	case <-ctx.Done():
+		rt.draining.Store(true)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("tppd: shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("tppd: %v", err)
+		}
+		rt.closeRouter()
+	}
+	log.Printf("tppd: router stopped")
+}

@@ -36,12 +36,14 @@ import (
 // through context into the tpp pipeline, and emits the structured request
 // log. The same registry backs GET /metrics and GET /v1/stats.
 type Server struct {
-	maxBody    int64
-	maxTimeout time.Duration // server-side cap on per-request selection time
-	maxScale   int           // cap on dataset graph size a client may request
-	sem        chan struct{} // bounds concurrent selection runs
-	queueWait  time.Duration // 429 once no slot frees within this (0 = queue to deadline)
-	sessions   *sessionStore // long-lived named sessions (TTL-evicted)
+	maxBody       int64
+	maxTimeout    time.Duration // server-side cap on per-request selection time
+	maxScale      int           // cap on dataset graph size a client may request
+	maxConcurrent int           // total selection slots, divided across shards
+	sessionTTL    time.Duration // idle eviction horizon for named sessions
+	queueWait     time.Duration // 429 once no slot frees within this (0 = queue to deadline)
+	sessions      *sessionStore // long-lived named sessions, sharded (TTL-evicted)
+	shardSeries   bool          // per-shard metric series registered (ConfigureSharding ran)
 
 	store  *durable.Store // session persistence; nil = in-memory only
 	loadMu sync.Mutex     // serialises lazy on-miss rehydration from disk
@@ -78,21 +80,69 @@ func NewServer(maxConcurrent int, maxBody int64, maxTimeout time.Duration, maxSc
 		maxScale = defaultMaxScale
 	}
 	s := &Server{
-		maxBody:    maxBody,
-		maxTimeout: maxTimeout,
-		maxScale:   maxScale,
-		sem:        make(chan struct{}, maxConcurrent),
-		registry:   telemetry.NewRegistry(),
-		idPrefix:   newIDPrefix(),
+		maxBody:       maxBody,
+		maxTimeout:    maxTimeout,
+		maxScale:      maxScale,
+		maxConcurrent: maxConcurrent,
+		sessionTTL:    sessionTTL,
+		registry:      telemetry.NewRegistry(),
+		idPrefix:      newIDPrefix(),
 	}
 	s.metrics = newServerMetrics(s.registry,
 		func() float64 { return float64(s.sessions.open()) },
-		func() float64 { return float64(len(s.sem)) },
-		func() float64 { return float64(cap(s.sem)) },
+		func() float64 { return float64(s.sessions.slotsInUse()) },
+		func() float64 { return float64(s.sessions.slotsLimit()) },
 	)
 	s.stats = serverStats{m: s.metrics}
-	s.sessions = newSessionStore(sessionTTL, func(n int) { s.metrics.sessionsEvicted.Add(int64(n)) })
+	s.sessions = newSessionStore(sessionTTL, func(n int) { s.metrics.sessionsEvicted.Add(int64(n)) }, 1, maxConcurrent, 0)
 	return s
+}
+
+// ConfigureSharding partitions the session tier into shards independent
+// maps/locks/work-queues with memBudget resident bytes (0 = unlimited)
+// divided across them, and registers the per-shard metric series. NewServer
+// starts at one shard with no budget — the single-lock baseline — so only
+// deployments that want scale-out call this. Call at most once, before
+// ConfigureDurability and before any session exists.
+func (s *Server) ConfigureSharding(shards int, memBudget int64) error {
+	if shards <= 0 {
+		shards = 1
+	}
+	if memBudget < 0 {
+		memBudget = 0
+	}
+	if s.shardSeries {
+		return fmt.Errorf("tppd: ConfigureSharding called twice")
+	}
+	if s.store != nil {
+		return fmt.Errorf("tppd: ConfigureSharding must run before ConfigureDurability")
+	}
+	if n := s.sessions.open(); n > 0 {
+		return fmt.Errorf("tppd: ConfigureSharding with %d sessions live", n)
+	}
+	s.shardSeries = true
+	old := s.sessions
+	s.sessions = newSessionStore(s.sessionTTL,
+		func(n int) { s.metrics.sessionsEvicted.Add(int64(n)) },
+		shards, s.maxConcurrent, memBudget)
+	old.close()
+	for _, sh := range s.sessions.shards {
+		sh := sh
+		lbl := telemetry.Label{Key: "shard", Value: strconv.Itoa(sh.idx)}
+		s.registry.GaugeFunc("tpp_shard_sessions", "Resident sessions per shard.",
+			func() float64 {
+				sh.mu.Lock()
+				defer sh.mu.Unlock()
+				return float64(len(sh.m))
+			}, lbl)
+		s.registry.GaugeFunc("tpp_shard_bytes", "Tracked resident session bytes per shard.",
+			func() float64 { return float64(sh.budget.Used()) }, lbl)
+		s.registry.GaugeFunc("tpp_shard_queue_depth", "Requests queued for a selection slot per shard.",
+			func() float64 { return float64(sh.waiters.Load()) }, lbl)
+		sh.spills = s.registry.Counter("tpp_shard_spills_total",
+			"Cold sessions spilled by the per-shard memory budget.", lbl)
+	}
+	return nil
 }
 
 // ConfigureLogging installs the structured request logger and the
@@ -116,51 +166,93 @@ func (s *Server) ConfigureBackpressure(wait time.Duration) {
 	s.queueWait = wait
 }
 
-// errServerBusy reports that every selection slot stayed occupied for the
-// whole queue-wait budget.
+// errServerBusy reports that every selection slot on the shard stayed
+// occupied for the whole queue-wait budget (or its queue is full).
 var errServerBusy = errors.New("all selection slots busy; retry later")
 
-// acquireSem takes a selection slot: immediately if one is free, otherwise
-// waiting up to the queue-wait budget (or the request deadline, whichever
-// ends first). The caller must release with <-s.sem on nil return.
-func (s *Server) acquireSem(ctx context.Context) error {
+// queueBound is the waiter cap per slot: a shard with c slots admits at
+// most queueBound*c queued requests before fast-failing with 429, so the
+// queue stays bounded even under a flood of distinct clients.
+const queueBound = 8
+
+// acquireSlot takes a selection slot on sh: immediately if one is free,
+// otherwise queueing up to the queue-wait budget (or the request deadline,
+// whichever ends first) behind at most queueBound waiters per slot. On nil
+// error the returned release hands the slot back and folds the hold time
+// into the shard's service-time EWMA; it is idempotent, so handlers can
+// both call it early (before streaming the response) and defer it.
+func (s *Server) acquireSlot(ctx context.Context, sh *sessionShard) (func(), error) {
 	select {
-	case s.sem <- struct{}{}:
-		return nil
+	case sh.sem <- struct{}{}:
+		return sh.releaseFunc(), nil
 	default:
 	}
 	if s.queueWait <= 0 {
+		// Queue-until-deadline mode keeps the unbounded queue: the caller
+		// opted out of fast-fail backpressure entirely.
+		sh.waiters.Add(1)
+		defer sh.waiters.Add(-1)
 		select {
-		case s.sem <- struct{}{}:
-			return nil
+		case sh.sem <- struct{}{}:
+			return sh.releaseFunc(), nil
 		case <-ctx.Done():
-			return ctx.Err()
+			return nil, ctx.Err()
 		}
 	}
+	if sh.waiters.Load() >= int64(queueBound*cap(sh.sem)) {
+		s.metrics.busyRejections.Inc()
+		return nil, errServerBusy
+	}
+	sh.waiters.Add(1)
+	defer sh.waiters.Add(-1)
 	t := time.NewTimer(s.queueWait)
 	defer t.Stop()
 	select {
-	case s.sem <- struct{}{}:
-		return nil
+	case sh.sem <- struct{}{}:
+		return sh.releaseFunc(), nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return nil, ctx.Err()
 	case <-t.C:
 		s.metrics.busyRejections.Inc()
-		return errServerBusy
+		return nil, errServerBusy
 	}
 }
 
-// writeAcquireError maps a failed slot acquisition to the wire: busy
-// becomes 429 + Retry-After, a dead context follows the usual run-error
-// mapping (504/499).
-func (s *Server) writeAcquireError(w http.ResponseWriter, err error) {
-	if errors.Is(err, errServerBusy) {
-		secs := int(s.queueWait / time.Second)
-		if secs < 1 {
-			secs = 1
+// releaseFunc builds the idempotent release closure for one held slot.
+func (sh *sessionShard) releaseFunc() func() {
+	start := time.Now()
+	released := false
+	return func() {
+		if released {
+			return
 		}
+		released = true
+		sh.observeService(time.Since(start))
+		<-sh.sem
+	}
+}
+
+// busyResponse is the 429 body: the error, the shard's queue depth at
+// rejection time, and the same back-off estimate the Retry-After header
+// carries.
+type busyResponse struct {
+	Error             string `json:"error"`
+	QueueDepth        int64  `json:"queue_depth"`
+	RetryAfterSeconds int    `json:"retry_after_seconds"`
+}
+
+// writeAcquireError maps a failed slot acquisition to the wire: busy
+// becomes 429 with the shard's queue depth and an EWMA-derived Retry-After,
+// a dead context follows the usual run-error mapping (504/499).
+func (s *Server) writeAcquireError(w http.ResponseWriter, err error, sh *sessionShard) {
+	if errors.Is(err, errServerBusy) {
+		secs := sh.retryAfterSeconds(s.queueWait)
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusTooManyRequests, busyResponse{
+			Error:             err.Error(),
+			QueueDepth:        sh.waiters.Load(),
+			RetryAfterSeconds: secs,
+		})
 		return
 	}
 	writeRunError(w, err)
@@ -311,20 +403,16 @@ func (s *Server) handleProtect(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	// Bound the heavy work — graph materialisation, selection and released-
-	// graph assembly — by the concurrency semaphore; waiting respects the
-	// deadline and the queue-wait budget (429 once it runs out). The slot is
-	// handed back before the response streams to the client, so a slow
-	// reader cannot pin a worker the CPU is done with.
-	if err := s.acquireSem(ctx); err != nil {
-		s.writeAcquireError(w, err)
+	// graph assembly — by a shard work slot; one-shot requests touch no
+	// session, so they round-robin across shards to use every queue. Waiting
+	// respects the deadline and the queue-wait budget (429 once it runs
+	// out). The slot is handed back before the response streams to the
+	// client, so a slow reader cannot pin a worker the CPU is done with.
+	sh := s.sessions.nextShard()
+	releaseSem, err := s.acquireSlot(ctx, sh)
+	if err != nil {
+		s.writeAcquireError(w, err, sh)
 		return
-	}
-	held := true
-	releaseSem := func() {
-		if held {
-			<-s.sem
-			held = false
-		}
 	}
 	defer releaseSem()
 
@@ -435,6 +523,16 @@ type statsResponse struct {
 	// queue-wait budget.
 	BusyRejections int64 `json:"busy_rejections"`
 
+	// Sharded session tier: shard count, resident bytes tracked against the
+	// memory budget (0 budget = unlimited), LRU spills and create requests
+	// rejected by admission control, and the live queue depth across shards.
+	Shards          int   `json:"shards"`
+	ResidentBytes   int64 `json:"resident_bytes"`
+	MemBudgetBytes  int64 `json:"mem_budget_bytes"`
+	SessionsSpilled int64 `json:"sessions_spilled"`
+	MemRejections   int64 `json:"mem_rejections"`
+	QueueDepth      int64 `json:"queue_depth"`
+
 	MaxWorkers          int `json:"max_workers"`
 	MaxConcurrentInUse  int `json:"max_concurrent_in_use"`
 	MaxConcurrentConfig int `json:"max_concurrent_config"`
@@ -444,8 +542,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp := s.stats.snapshot()
 	resp.SessionsOpen = s.sessions.open()
 	resp.MaxWorkers = runtime.GOMAXPROCS(0)
-	resp.MaxConcurrentInUse = len(s.sem)
-	resp.MaxConcurrentConfig = cap(s.sem)
+	resp.MaxConcurrentInUse = s.sessions.slotsInUse()
+	resp.MaxConcurrentConfig = s.sessions.slotsLimit()
+	resp.Shards = len(s.sessions.shards)
+	resp.ResidentBytes = s.sessions.residentBytes()
+	resp.MemBudgetBytes = s.sessions.budgetCap()
+	resp.QueueDepth = s.sessions.queueDepth()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -9,13 +9,18 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"regexp"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/durable"
 	"repro/internal/dynamic"
 	"repro/internal/graph"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
 	"repro/internal/tpp"
 )
 
@@ -31,6 +36,9 @@ type sessionRecord struct {
 	id   string
 	slot chan struct{} // capacity 1: holds the session's exclusive lock
 	gone bool          // evicted or deleted; holders of a stale pointer must 404
+	// home is the shard the id hashes to; set by publish, fixed for the
+	// record's life (the ring is a pure function of the shard count).
+	home *sessionShard
 
 	session *tpp.Protector
 	lab     *graph.Labeling
@@ -58,11 +66,90 @@ type sessionRecord struct {
 	statFallbacks int64
 }
 
-// sessionStore owns the named sessions and their idle-TTL eviction.
-type sessionStore struct {
+// sessionShard is one partition of the session tier. Each shard owns its
+// slice of the id space end to end: its own record map and lock, its own
+// bounded work queue (the semaphore plus a waiter counter), its own memory
+// budget with LRU order, and its own service-time EWMA feeding Retry-After.
+// Nothing on a shard is ever touched while holding another shard's lock, so
+// shards scale independently — the single mutex'd map + global semaphore the
+// daemon started with is exactly the degenerate 1-shard configuration.
+type sessionShard struct {
+	idx int
 	mu  sync.Mutex
 	m   map[string]*sessionRecord // guarded by mu
-	ttl time.Duration
+
+	// sem bounds the selections running on this shard; waiters counts the
+	// requests queued for a slot right now (the 429 queue_depth field).
+	sem     chan struct{}
+	waiters atomic.Int64
+	// ewmaNS is the smoothed per-request service time in nanoseconds,
+	// updated on every slot release; Retry-After derives from it.
+	ewmaNS atomic.Int64
+
+	// budget tracks the shard's resident session bytes in LRU order. Always
+	// non-nil; a zero cap means accounting without enforcement.
+	budget *shard.Budget
+	// spills counts LRU spills on this shard; nil until ConfigureSharding
+	// registers the per-shard instruments (telemetry counters no-op on nil).
+	spills *telemetry.Counter
+}
+
+// observeService folds one completed request's slot-hold time into the
+// shard's service-time EWMA (alpha = 1/8).
+func (sh *sessionShard) observeService(d time.Duration) {
+	ns := int64(d)
+	if ns <= 0 {
+		ns = 1
+	}
+	for {
+		old := sh.ewmaNS.Load()
+		nw := ns
+		if old > 0 {
+			nw = old + (ns-old)/8
+		}
+		if sh.ewmaNS.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates how long a rejected client should back off:
+// the observed per-request service time times the queue ahead of it, spread
+// over the shard's slots. Before the first completion (no EWMA yet) it
+// falls back to the configured queue-wait budget. Clamped to [1, 60].
+func (sh *sessionShard) retryAfterSeconds(fallback time.Duration) int {
+	ewma := sh.ewmaNS.Load()
+	if ewma <= 0 {
+		secs := int(fallback / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		return secs
+	}
+	depth := sh.waiters.Load() + 1
+	wait := time.Duration(ewma) * time.Duration(depth) / time.Duration(cap(sh.sem))
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// sessionStore owns the named sessions: a consistent-hash ring over its
+// shards, idle-TTL eviction, and shutdown draining. Every session id maps
+// to exactly one shard for its whole life (the ring is a pure function of
+// the member list), so a record's map entry, work queue and budget slot all
+// live on the same shard.
+type sessionStore struct {
+	shards []*sessionShard
+	ring   *shard.Ring
+	ttl    time.Duration
+
+	// rr round-robins keyless work (one-shot protect) across shards.
+	rr atomic.Uint64
 
 	// spill, when set, persists a session's final snapshot before eviction
 	// or shutdown removes it from memory; it is called with the record's
@@ -78,12 +165,50 @@ type sessionStore struct {
 	done chan struct{}
 }
 
-func newSessionStore(ttl time.Duration, evicted func(int)) *sessionStore {
+// newSessionStore builds an nshards-way partitioned store. slots is the
+// total selection concurrency, divided evenly across shards (at least one
+// each); memBudget is the total resident-byte budget, likewise divided
+// (0 = unlimited).
+func newSessionStore(ttl time.Duration, evicted func(int), nshards, slots int, memBudget int64) *sessionStore {
+	if nshards <= 0 {
+		nshards = 1
+	}
+	if slots <= 0 {
+		slots = 1
+	}
+	members := make([]string, nshards)
+	for i := range members {
+		members[i] = "shard-" + strconv.Itoa(i)
+	}
+	ring, err := shard.NewRing(members, 0)
+	if err != nil {
+		panic(fmt.Sprintf("tppd: building shard ring: %v", err)) // members are distinct by construction
+	}
+	perSlots := slots / nshards
+	if perSlots < 1 {
+		perSlots = 1
+	}
+	var perBudget int64
+	if memBudget > 0 {
+		perBudget = memBudget / int64(nshards)
+		if perBudget < 1 {
+			perBudget = 1
+		}
+	}
 	ss := &sessionStore{
-		m:    make(map[string]*sessionRecord),
-		ttl:  ttl,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		shards: make([]*sessionShard, nshards),
+		ring:   ring,
+		ttl:    ttl,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for i := range ss.shards {
+		ss.shards[i] = &sessionShard{
+			idx:    i,
+			m:      make(map[string]*sessionRecord),
+			sem:    make(chan struct{}, perSlots),
+			budget: shard.NewBudget(perBudget),
+		}
 	}
 	if ttl > 0 {
 		interval := ttl / 4
@@ -100,8 +225,22 @@ func newSessionStore(ttl time.Duration, evicted func(int)) *sessionStore {
 	return ss
 }
 
+// shardFor maps a session id to its home shard via the ring.
+func (ss *sessionStore) shardFor(id string) *sessionShard {
+	if len(ss.shards) == 1 {
+		return ss.shards[0]
+	}
+	return ss.shards[ss.ring.OwnerIndex(id)]
+}
+
+// nextShard round-robins keyless work (one-shot protect, which touches no
+// session) across shards so every work queue is used.
+func (ss *sessionStore) nextShard() *sessionShard {
+	return ss.shards[ss.rr.Add(1)%uint64(len(ss.shards))]
+}
+
 // janitor periodically evicts sessions idle past the TTL. Busy sessions
-// (mutex held by a handler) are skipped and reconsidered next sweep.
+// (slot held by a handler) are skipped and reconsidered next sweep.
 func (ss *sessionStore) janitor(interval time.Duration, evicted func(int)) {
 	defer close(ss.done)
 	ticker := time.NewTicker(interval)
@@ -111,13 +250,15 @@ func (ss *sessionStore) janitor(interval time.Duration, evicted func(int)) {
 		case <-ss.stop:
 			return
 		case now := <-ticker.C:
-			ss.mu.Lock()
-			candidates := make([]*sessionRecord, 0, len(ss.m))
-			//lint:maporder-ok snapshot of every record; eviction below is per-record and order-independent
-			for _, rec := range ss.m {
-				candidates = append(candidates, rec)
+			var candidates []*sessionRecord
+			for _, sh := range ss.shards {
+				sh.mu.Lock()
+				//lint:maporder-ok snapshot of every record; eviction below is per-record and order-independent
+				for _, rec := range sh.m {
+					candidates = append(candidates, rec)
+				}
+				sh.mu.Unlock()
 			}
-			ss.mu.Unlock()
 			n := 0
 			for _, rec := range candidates {
 				select {
@@ -144,6 +285,11 @@ func (ss *sessionStore) janitor(interval time.Duration, evicted func(int)) {
 	}
 }
 
+// sessionIDPattern is the only id shape the daemon mints — and therefore
+// the only shape it accepts from a router handing it a pre-minted id (the
+// router must know the id before it can pick the owning backend).
+var sessionIDPattern = regexp.MustCompile(`^s-[0-9a-f]{16}$`)
+
 // mintSessionID draws a fresh session id.
 func mintSessionID() string {
 	buf := make([]byte, 8)
@@ -153,14 +299,21 @@ func mintSessionID() string {
 	return "s-" + hex.EncodeToString(buf)
 }
 
-// publish registers rec — id and slot already set — in the store. Minting
-// and publishing are split so the create path can persist the initial
-// snapshot (and a rehydration can replay the WAL) before the id is
+// publish registers rec — id and slot already set — on its home shard and
+// reports whether the id was fresh (false = conflict, rec not registered).
+// Minting and publishing are split so the create path can persist the
+// initial snapshot (and a rehydration can replay the WAL) before the id is
 // reachable by concurrent requests.
-func (ss *sessionStore) publish(rec *sessionRecord) {
-	ss.mu.Lock()
-	ss.m[rec.id] = rec
-	ss.mu.Unlock()
+func (ss *sessionStore) publish(rec *sessionRecord) bool {
+	sh := ss.shardFor(rec.id)
+	rec.home = sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, exists := sh.m[rec.id]; exists {
+		return false
+	}
+	sh.m[rec.id] = rec
+	return true
 }
 
 // acquire returns the session locked for exclusive use. A nil record with
@@ -168,9 +321,10 @@ func (ss *sessionStore) publish(rec *sessionRecord) {
 // TTL-evicted); a non-nil error means ctx died while waiting for the slot.
 // Callers must release with ss.release (or rec.slot directly after remove).
 func (ss *sessionStore) acquire(ctx context.Context, id string) (*sessionRecord, error) {
-	ss.mu.Lock()
-	rec := ss.m[id]
-	ss.mu.Unlock()
+	sh := ss.shardFor(id)
+	sh.mu.Lock()
+	rec := sh.m[id]
+	sh.mu.Unlock()
 	if rec == nil {
 		return nil, nil
 	}
@@ -186,25 +340,80 @@ func (ss *sessionStore) acquire(ctx context.Context, id string) (*sessionRecord,
 	return rec, nil
 }
 
-// release refreshes the idle clock and frees the slot.
+// release refreshes the idle clock and the LRU position, then frees the
+// slot.
 func (ss *sessionStore) release(rec *sessionRecord) {
 	rec.lastUsed = time.Now()
+	rec.home.budget.Touch(rec.id)
 	<-rec.slot
 }
 
-// remove unregisters rec. The caller must hold rec's slot.
+// remove unregisters rec from its shard's map and budget. The caller must
+// hold rec's slot.
 func (ss *sessionStore) remove(rec *sessionRecord) {
 	rec.gone = true
-	ss.mu.Lock()
-	delete(ss.m, rec.id)
-	ss.mu.Unlock()
+	sh := rec.home
+	sh.mu.Lock()
+	delete(sh.m, rec.id)
+	sh.mu.Unlock()
+	sh.budget.Remove(rec.id)
 }
 
-// open returns the number of live sessions.
+// open returns the number of live sessions across all shards.
 func (ss *sessionStore) open() int {
-	ss.mu.Lock()
-	defer ss.mu.Unlock()
-	return len(ss.m)
+	n := 0
+	for _, sh := range ss.shards {
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// slotsInUse returns the occupied selection slots across all shards.
+func (ss *sessionStore) slotsInUse() int {
+	n := 0
+	for _, sh := range ss.shards {
+		n += len(sh.sem)
+	}
+	return n
+}
+
+// slotsLimit returns the configured selection-slot total across all shards.
+func (ss *sessionStore) slotsLimit() int {
+	n := 0
+	for _, sh := range ss.shards {
+		n += cap(sh.sem)
+	}
+	return n
+}
+
+// queueDepth returns the requests queued for a slot across all shards.
+func (ss *sessionStore) queueDepth() int64 {
+	var n int64
+	for _, sh := range ss.shards {
+		n += sh.waiters.Load()
+	}
+	return n
+}
+
+// residentBytes returns the tracked session bytes across all shards.
+func (ss *sessionStore) residentBytes() int64 {
+	var n int64
+	for _, sh := range ss.shards {
+		n += sh.budget.Used()
+	}
+	return n
+}
+
+// budgetCap returns the configured memory budget across all shards
+// (0 = unlimited).
+func (ss *sessionStore) budgetCap() int64 {
+	var n int64
+	for _, sh := range ss.shards {
+		n += sh.budget.Cap()
+	}
+	return n
 }
 
 // close stops the janitor and releases every session in deterministic
@@ -220,13 +429,15 @@ func (ss *sessionStore) close() {
 		close(ss.stop)
 	}
 	<-ss.done
-	ss.mu.Lock()
-	recs := make([]*sessionRecord, 0, len(ss.m))
-	//lint:maporder-ok snapshot of every record; sorted by id below so release order is deterministic
-	for _, rec := range ss.m {
-		recs = append(recs, rec)
+	var recs []*sessionRecord
+	for _, sh := range ss.shards {
+		sh.mu.Lock()
+		//lint:maporder-ok snapshot of every record; sorted by id below so release order is deterministic
+		for _, rec := range sh.m {
+			recs = append(recs, rec)
+		}
+		sh.mu.Unlock()
 	}
-	ss.mu.Unlock()
 	sort.Slice(recs, func(i, j int) bool { return recs[i].id < recs[j].id })
 	timeout := ss.closeTimeout
 	if timeout <= 0 {
@@ -342,13 +553,36 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	// The id is fixed before any work happens: the session's home shard —
+	// whose work queue bounds this request and whose budget must admit the
+	// session — is a pure function of the id. A router running ahead of the
+	// daemon mints the id itself (it needs it to pick the backend) and hands
+	// it down in a header; everyone else gets a fresh one.
+	id := mintSessionID()
+	if hdr := r.Header.Get(routedSessionIDHeader); hdr != "" {
+		if !sessionIDPattern.MatchString(hdr) {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("invalid %s %q", routedSessionIDHeader, hdr)})
+			return
+		}
+		// A pre-minted id can collide with an existing session (a confused
+		// or replaying router); reject before any state is built, and above
+		// all before durable.Create could overwrite the live session's
+		// files. Self-minted ids are fresh entropy and need no check.
+		if s.sessionExists(hdr) {
+			writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("session %q already exists", hdr)})
+			return
+		}
+		id = hdr
+	}
+	sh := s.sessions.shardFor(id)
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
 	defer cancel()
-	if err := s.acquireSem(ctx); err != nil {
-		s.writeAcquireError(w, err)
+	releaseSem, err := s.acquireSlot(ctx, sh)
+	if err != nil {
+		s.writeAcquireError(w, err, sh)
 		return
 	}
-	defer func() { <-s.sem }()
+	defer releaseSem()
 	session, lab, err := req.newSession(ctx, opts)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
@@ -360,7 +594,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	now := time.Now()
 	rec := &sessionRecord{
-		id:            mintSessionID(),
+		id:            id,
 		slot:          make(chan struct{}, 1),
 		session:       session,
 		lab:           lab,
@@ -368,6 +602,27 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		defaultBudget: req.Budget,
 		created:       now,
 		lastUsed:      now,
+	}
+	// Admission control: the new session must fit the shard's memory budget
+	// after spilling every cold session the budget can give up. A create
+	// that still does not fit is backpressure (429 + Retry-After), not an
+	// error — resident sessions are busy or the budget is simply smaller
+	// than this one session, and the client should retry or shrink.
+	need := sessionFootprint(rec)
+	if b := sh.budget; b.Cap() > 0 {
+		s.reclaimBudget(sh, need, id)
+		if b.Used()+need > b.Cap() {
+			s.metrics.memRejections.Inc()
+			secs := sh.retryAfterSeconds(s.queueWait)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests, busyResponse{
+				Error: fmt.Sprintf("session needs ~%d bytes; shard budget %d has %d resident that cannot spill now",
+					need, b.Cap(), b.Used()),
+				QueueDepth:        sh.waiters.Load(),
+				RetryAfterSeconds: secs,
+			})
+			return
+		}
 	}
 	// With durability on, the initial snapshot must be on disk before the
 	// id is handed out: a created session that vanished across a restart
@@ -384,10 +639,41 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	// The response is assembled before publish: once the id is out in the
 	// store, concurrent requests may already be mutating the session.
 	info := s.sessionInfo(rec.id, rec)
-	s.sessions.publish(rec)
+	if !s.sessions.publish(rec) {
+		// Only reachable when two creates race the same router-minted id
+		// past the up-front existence check. The files now on disk belong
+		// to whichever record won the publish — close our handle, never
+		// destroy.
+		if rec.durable != nil {
+			rec.durable.Close()
+		}
+		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("session %q already exists", rec.id)})
+		return
+	}
+	s.accountSession(rec, need)
 	s.metrics.sessionsCreated.Inc()
 	annotateSession(r.Context(), rec.id)
 	writeJSON(w, http.StatusCreated, info)
+}
+
+// routedSessionIDHeader carries a router-minted session id into the create
+// handler. The router must know the id before it can pick the owning
+// backend, so on /v1/sessions it mints the id, forwards it here, and the
+// backend honours it (after validating the shape) instead of minting anew.
+const routedSessionIDHeader = "X-Tppd-Session-Id"
+
+// sessionExists reports whether id names a session that is live in memory
+// or spilled on disk. Only the pre-minted-id create path asks; the serving
+// handlers go through getSession, which also rehydrates.
+func (s *Server) sessionExists(id string) bool {
+	sh := s.sessions.shardFor(id)
+	sh.mu.Lock()
+	_, live := sh.m[id]
+	sh.mu.Unlock()
+	if live {
+		return true
+	}
+	return s.store != nil && s.store.Exists(id)
 }
 
 func (s *Server) sessionInfo(id string, rec *sessionRecord) sessionResponse {
@@ -458,22 +744,18 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decoding request: " + err.Error()})
 		return
 	}
-	// Lock order is always semaphore → record mutex: a request queueing
-	// for a work slot must not hold the session lock, or cheap GET/DELETE
+	// Lock order is always work slot → record slot: a request queueing for
+	// a work slot must not hold the session lock, or cheap GET/DELETE
 	// calls on the same session would hang behind work that has not even
-	// started.
+	// started. Session work queues on the session's home shard, so one hot
+	// shard cannot starve the rest of the fleet.
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
 	defer cancel()
-	if err := s.acquireSem(ctx); err != nil {
-		s.writeAcquireError(w, err)
+	sh := s.sessions.shardFor(r.PathValue("id"))
+	releaseSem, err := s.acquireSlot(ctx, sh)
+	if err != nil {
+		s.writeAcquireError(w, err, sh)
 		return
-	}
-	semHeld := true
-	releaseSem := func() {
-		if semHeld {
-			<-s.sem
-			semHeld = false
-		}
 	}
 	defer releaseSem()
 	rec, err := s.getSession(ctx, r.PathValue("id"))
@@ -558,8 +840,11 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 		Instances:        rep.IndexStats.Instances,
 		ElapsedMS:        float64(rep.Elapsed.Microseconds()) / 1000,
 	}
-	// All CPU-bound work is done: hand back the slot and the session
-	// before streaming the response to a possibly-slow client.
+	// The delta changed the session's size: refresh its budget entry (and
+	// spill colder sessions if the shard ran over) while the slot is still
+	// held, then hand back the slot and the session before streaming the
+	// response to a possibly-slow client.
+	s.noteFootprint(rec)
 	releaseRec()
 	releaseSem()
 	writeJSON(w, http.StatusOK, resp)
@@ -712,20 +997,15 @@ func (s *Server) handleSessionProtect(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, tpp.WithWorkers(*req.Workers))
 	}
 
-	// Same lock order as the delta handler: semaphore first, session lock
-	// second, both handed back before the response write.
+	// Same lock order as the delta handler: shard work slot first, session
+	// lock second, both handed back before the response write.
 	ctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
 	defer cancel()
-	if err := s.acquireSem(ctx); err != nil {
-		s.writeAcquireError(w, err)
+	sh := s.sessions.shardFor(r.PathValue("id"))
+	releaseSem, err := s.acquireSlot(ctx, sh)
+	if err != nil {
+		s.writeAcquireError(w, err, sh)
 		return
-	}
-	semHeld := true
-	releaseSem := func() {
-		if semHeld {
-			<-s.sem
-			semHeld = false
-		}
 	}
 	defer releaseSem()
 	rec, err := s.getSession(ctx, r.PathValue("id"))
@@ -785,6 +1065,9 @@ func (s *Server) handleSessionProtect(w http.ResponseWriter, r *http.Request) {
 	if !req.OmitReleased {
 		resp.ReleasedEdges = edgePairs(rec.session.Release(res).Edges(), rec.lab)
 	}
+	// The first run built the motif index — easily the biggest jump a
+	// session's footprint ever takes — so re-account before handing back.
+	s.noteFootprint(rec)
 	releaseRec()
 	releaseSem()
 	writeJSON(w, http.StatusOK, resp)

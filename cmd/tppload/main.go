@@ -1,0 +1,446 @@
+// Command tppload drives reproducible mixed traffic at a tppd service (a
+// single process, a sharded standalone tier, or a routed fleet — the wire
+// API is identical) and reports throughput, latency percentiles and status
+// classes as JSON.
+//
+// Two phases:
+//
+//  1. Seed: create -sessions long-lived sessions, each over a small
+//     deterministic graph derived from (-seed, session index), so two runs
+//     with the same flags issue byte-identical create bodies.
+//  2. Mixed: -workers workers issue a weighted create/delta/protect/delete
+//     mix (-mix, default 5/60/30/5) against the live pool for -duration.
+//     Each worker owns its own rng seeded from (-seed, worker index) and
+//     mints its own node labels, so the run is reproducible modulo server
+//     scheduling.
+//
+// Deltas are insert-only node attachments (one fresh node wired to two
+// distinct seed nodes), which always succeed regardless of interleaving;
+// 429s are counted as throttled — backpressure working — not as errors.
+//
+// Example:
+//
+//	tppload -target http://localhost:8080 -sessions 10000 -duration 30s
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// opNames index the mix weights and the per-op result buckets.
+var opNames = [4]string{"create", "delta", "protect", "delete"}
+
+const (
+	opCreate = iota
+	opDelta
+	opProtect
+	opDelete
+)
+
+// sample is one completed request.
+type sample struct {
+	op      int
+	status  int
+	latency time.Duration
+}
+
+// pool is the shared set of live session ids.
+type pool struct {
+	mu  sync.Mutex
+	ids []string
+}
+
+func (p *pool) add(id string) {
+	p.mu.Lock()
+	p.ids = append(p.ids, id)
+	p.mu.Unlock()
+}
+
+// pick returns a random live id ("" when empty).
+func (p *pool) pick(rng *rand.Rand) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.ids) == 0 {
+		return ""
+	}
+	return p.ids[rng.Intn(len(p.ids))]
+}
+
+// take removes and returns a random live id ("" when empty).
+func (p *pool) take(rng *rand.Rand) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.ids) == 0 {
+		return ""
+	}
+	i := rng.Intn(len(p.ids))
+	id := p.ids[i]
+	p.ids[i] = p.ids[len(p.ids)-1]
+	p.ids = p.ids[:len(p.ids)-1]
+	return id
+}
+
+func (p *pool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.ids)
+}
+
+// seedGraphBody builds the deterministic create payload for session idx: a
+// 24-node ring (always connected, so node-attach deltas can wire to any
+// seed node) plus 12 rng chords, protecting two ring links.
+func seedGraphBody(seed int64, idx int) map[string]any {
+	rng := rand.New(rand.NewSource(seed<<20 + int64(idx)))
+	const n = 24
+	name := func(i int) string { return fmt.Sprintf("n%d", i) }
+	var edges [][2]string
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]string{name(i), name((i + 1) % n)})
+	}
+	have := make(map[[2]int]bool)
+	for len(edges) < n+12 {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if b-a == 1 || (a == 0 && b == n-1) || have[[2]int{a, b}] {
+			continue
+		}
+		have[[2]int{a, b}] = true
+		edges = append(edges, [2]string{name(a), name(b)})
+	}
+	t1 := rng.Intn(n)
+	t2 := (t1 + n/2) % n
+	return map[string]any{
+		"edges":   edges,
+		"targets": [][2]string{{name(t1), name((t1 + 1) % n)}, {name(t2), name((t2 + 1) % n)}},
+		"pattern": "Triangle",
+	}
+}
+
+// client wraps the HTTP plumbing with shared counters.
+type client struct {
+	base    string
+	http    *http.Client
+	fiveXXs atomic.Int64
+}
+
+// do issues one JSON request and returns (status, latency). Transport-level
+// failures count as status 0.
+func (c *client) do(method, path string, payload any) (int, time.Duration, []byte) {
+	var body bytes.Buffer
+	if payload != nil {
+		if err := json.NewEncoder(&body).Encode(payload); err != nil {
+			log.Fatalf("tppload: encoding request: %v", err)
+		}
+	}
+	req, err := http.NewRequest(method, c.base+path, &body)
+	if err != nil {
+		log.Fatalf("tppload: building request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := c.http.Do(req)
+	elapsed := time.Since(start)
+	if err != nil {
+		return 0, elapsed, nil
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 500 {
+		c.fiveXXs.Add(1)
+	}
+	return resp.StatusCode, elapsed, out
+}
+
+// createSession posts a deterministic session and returns its id ("" on
+// rejection).
+func (c *client) createSession(seed int64, idx int) (string, int, time.Duration) {
+	status, lat, body := c.do(http.MethodPost, "/v1/sessions", seedGraphBody(seed, idx))
+	if status != http.StatusCreated {
+		return "", status, lat
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &info); err != nil || info.ID == "" {
+		return "", status, lat
+	}
+	return info.ID, status, lat
+}
+
+// opStats is the per-operation latency report.
+type opStats struct {
+	Count      int64   `json:"count"`
+	P50Ms      float64 `json:"p50_ms"`
+	P90Ms      float64 `json:"p90_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+	Throttled  int64   `json:"throttled"` // 429s: backpressure, not failure
+	Errors     int64   `json:"errors"`    // 5xx and transport failures
+	OtherCodes int64   `json:"other_4xx"` // races (delete vs delta) and the like
+}
+
+// report is the JSON document tppload emits.
+type report struct {
+	Target        string             `json:"target"`
+	Seed          int64              `json:"seed"`
+	Workers       int                `json:"workers"`
+	Mix           string             `json:"mix"`
+	SeedSessions  int                `json:"seed_sessions"`
+	SeedElapsedS  float64            `json:"seed_elapsed_s"`
+	DurationS     float64            `json:"duration_s"`
+	Requests      int64              `json:"requests"`
+	ThroughputRPS float64            `json:"throughput_rps"`
+	LiveSessions  int                `json:"live_sessions"`
+	FiveXXs       int64              `json:"five_xxs"`
+	Ops           map[string]opStats `json:"ops"`
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p/100*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func summarize(samples []sample) map[string]opStats {
+	out := make(map[string]opStats, len(opNames))
+	for op, name := range opNames {
+		var lats []float64
+		st := opStats{}
+		for _, s := range samples {
+			if s.op != op {
+				continue
+			}
+			st.Count++
+			lats = append(lats, float64(s.latency)/float64(time.Millisecond))
+			switch {
+			case s.status == http.StatusTooManyRequests:
+				st.Throttled++
+			case s.status >= 500 || s.status == 0:
+				st.Errors++
+			case s.status >= 400:
+				st.OtherCodes++
+			}
+		}
+		sort.Float64s(lats)
+		st.P50Ms = percentile(lats, 50)
+		st.P90Ms = percentile(lats, 90)
+		st.P99Ms = percentile(lats, 99)
+		if len(lats) > 0 {
+			st.MaxMs = lats[len(lats)-1]
+		}
+		out[name] = st
+	}
+	return out
+}
+
+func parseMix(s string) ([4]int, error) {
+	parts := strings.Split(s, "/")
+	var mix [4]int
+	if len(parts) != 4 {
+		return mix, fmt.Errorf("-mix %q: want create/delta/protect/delete weights like 5/60/30/5", s)
+	}
+	total := 0
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &mix[i]); err != nil || mix[i] < 0 {
+			return mix, fmt.Errorf("-mix %q: bad weight %q", s, p)
+		}
+		total += mix[i]
+	}
+	if total == 0 {
+		return mix, fmt.Errorf("-mix %q: weights sum to zero", s)
+	}
+	return mix, nil
+}
+
+func main() {
+	var (
+		target   = flag.String("target", "http://localhost:8080", "base URL of the tppd service or router")
+		sessions = flag.Int("sessions", 1000, "sessions to seed before the mixed phase")
+		workers  = flag.Int("workers", 16, "concurrent load workers")
+		duration = flag.Duration("duration", 15*time.Second, "mixed-phase length")
+		seed     = flag.Int64("seed", 1, "master rng seed (same seed + flags = same request stream)")
+		mixFlag  = flag.String("mix", "5/60/30/5", "create/delta/protect/delete weights")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		outPath  = flag.String("out", "", "write the JSON report here (default stdout)")
+	)
+	flag.Parse()
+
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		log.Fatalf("tppload: %v", err)
+	}
+	c := &client{
+		base: strings.TrimRight(*target, "/"),
+		http: &http.Client{
+			Timeout: *timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        *workers * 2,
+				MaxIdleConnsPerHost: *workers * 2,
+			},
+		},
+	}
+
+	// Phase 1: seed the pool. Indices are handed out by an atomic counter
+	// so the set of graphs is fixed even though completion order is not.
+	live := &pool{}
+	var nextIdx atomic.Int64
+	var seedWG sync.WaitGroup
+	var seedFailures atomic.Int64
+	seedStart := time.Now()
+	for w := 0; w < *workers; w++ {
+		seedWG.Add(1)
+		go func() {
+			defer seedWG.Done()
+			for {
+				idx := int(nextIdx.Add(1)) - 1
+				if idx >= *sessions {
+					return
+				}
+				// Throttled creates retry the same index — a memory-budgeted
+				// tier admits it once reclaim catches up, and the seeded
+				// population must reach -sessions regardless of backpressure.
+				for {
+					id, status, _ := c.createSession(*seed, idx)
+					if id != "" {
+						live.add(id)
+						break
+					}
+					if status == http.StatusTooManyRequests {
+						time.Sleep(50 * time.Millisecond)
+						continue
+					}
+					seedFailures.Add(1)
+					break
+				}
+			}
+		}()
+	}
+	seedWG.Wait()
+	seedElapsed := time.Since(seedStart)
+	log.Printf("tppload: seeded %d/%d sessions in %s (%d rejected)",
+		live.size(), *sessions, seedElapsed.Round(time.Millisecond), seedFailures.Load())
+
+	// Phase 2: mixed traffic until the deadline.
+	cum := [4]int{}
+	sum := 0
+	for i, wgt := range mix {
+		sum += wgt
+		cum[i] = sum
+	}
+	deadline := time.Now().Add(*duration)
+	results := make([][]sample, *workers)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed<<32 + int64(w)))
+			seq := 0
+			for time.Now().Before(deadline) {
+				roll := rng.Intn(sum)
+				op := 0
+				for cum[op] <= roll {
+					op++
+				}
+				var status int
+				var lat time.Duration
+				switch op {
+				case opCreate:
+					idx := int(nextIdx.Add(1)) - 1
+					id, st, l := c.createSession(*seed, idx)
+					status, lat = st, l
+					if id != "" {
+						live.add(id)
+					}
+				case opDelta:
+					id := live.pick(rng)
+					if id == "" {
+						continue
+					}
+					seq++
+					node := fmt.Sprintf("x%d-%d", w, seq)
+					a := rng.Intn(24)
+					b := (a + 1 + rng.Intn(22)) % 24
+					status, lat, _ = c.do(http.MethodPost, "/v1/sessions/"+id+"/delta", map[string]any{
+						"add_nodes": []string{node},
+						"insert":    [][2]string{{node, fmt.Sprintf("n%d", a)}, {node, fmt.Sprintf("n%d", b)}},
+					})
+				case opProtect:
+					id := live.pick(rng)
+					if id == "" {
+						continue
+					}
+					status, lat, _ = c.do(http.MethodPost, "/v1/sessions/"+id+"/protect", map[string]any{})
+				case opDelete:
+					id := live.take(rng)
+					if id == "" {
+						continue
+					}
+					status, lat, _ = c.do(http.MethodDelete, "/v1/sessions/"+id, nil)
+				}
+				results[w] = append(results[w], sample{op: op, status: status, latency: lat})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var all []sample
+	for _, rs := range results {
+		all = append(all, rs...)
+	}
+	rep := report{
+		Target:        *target,
+		Seed:          *seed,
+		Workers:       *workers,
+		Mix:           *mixFlag,
+		SeedSessions:  *sessions,
+		SeedElapsedS:  seedElapsed.Seconds(),
+		DurationS:     duration.Seconds(),
+		Requests:      int64(len(all)),
+		ThroughputRPS: float64(len(all)) / duration.Seconds(),
+		LiveSessions:  live.size(),
+		FiveXXs:       c.fiveXXs.Load(),
+		Ops:           summarize(all),
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("tppload: encoding report: %v", err)
+	}
+	out = append(out, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(out)
+	} else if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+		log.Fatalf("tppload: writing %s: %v", *outPath, err)
+	}
+	log.Printf("tppload: %d requests in %s (%.1f req/s), %d live sessions, %d 5xx",
+		rep.Requests, *duration, rep.ThroughputRPS, rep.LiveSessions, rep.FiveXXs)
+	if rep.FiveXXs > 0 {
+		os.Exit(1)
+	}
+}

@@ -545,3 +545,20 @@ func (g *Graph) MaxDegree() int {
 func (g *Graph) String() string {
 	return fmt.Sprintf("graph{n=%d m=%d}", g.NumNodes(), g.NumEdges())
 }
+
+// MemFootprint returns the approximate resident byte footprint of the
+// graph: the adjacency spine plus every row's full capacity (mutation slack
+// included — that memory is held either way). The estimate feeds the
+// session tier's memory budget; it deliberately counts reachable heap
+// bytes, not Go object headers, so it slightly undercounts true RSS.
+func (g *Graph) MemFootprint() int64 {
+	const (
+		sliceHeader = 24 // unsafe.Sizeof([]NodeID{}) on 64-bit
+		nodeIDBytes = 4  // NodeID is int32
+	)
+	b := int64(sliceHeader) + int64(cap(g.adj))*sliceHeader
+	for _, row := range g.adj {
+		b += int64(cap(row)) * nodeIDBytes
+	}
+	return b
+}

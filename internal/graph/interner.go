@@ -118,3 +118,9 @@ func (in *Interner) Edges(ids []EdgeID) []Edge {
 	}
 	return out
 }
+
+// MemFootprint returns the approximate resident byte footprint of the edge
+// table, for the session tier's memory budget.
+func (in *Interner) MemFootprint() int64 {
+	return 24 + int64(cap(in.packed))*8
+}

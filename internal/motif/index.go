@@ -687,3 +687,30 @@ func (ix *Index) heapSiftDown(i int) {
 		i = best
 	}
 }
+
+// MemFootprint returns the approximate resident byte footprint of the
+// index: the instance table, the CSR incidence arrays, the gain/heap/bitset
+// state and the interned edge table, apply-path scratch included (a churny
+// session holds that capacity between deltas). The estimate feeds the
+// session tier's memory budget.
+func (ix *Index) MemFootprint() int64 {
+	const instBytes = 24 // indexedInstance: int32 + [4]EdgeID + uint8 + bool, padded
+	b := int64(cap(ix.targets)) * 8
+	b += ix.in.MemFootprint()
+	b += int64(cap(ix.inst)) * instBytes
+	b += int64(cap(ix.instStart))*4 + int64(cap(ix.instIDs))*4
+	b += int64(cap(ix.gain))*4 + int64(cap(ix.deleted))*8
+	b += int64(cap(ix.perTarget)) * 8
+	b += int64(cap(ix.heap))*4 + int64(cap(ix.heapPos))*4
+	sc := &ix.sc
+	b += int64(cap(sc.drop)) + int64(cap(sc.enum)) + int64(cap(sc.killed))
+	b += int64(cap(sc.newIdx)) * 8
+	b += int64(cap(sc.insertedNew)) * 8
+	b += int64(cap(sc.oldGain))*4 + int64(cap(sc.remapID))*4 + int64(cap(sc.fin))*4
+	b += (int64(cap(sc.kept)) + int64(cap(sc.extras)) + int64(cap(sc.touched))) * 8
+	for _, bt := range sc.byTarget {
+		b += 24 + int64(cap(bt))*24 // rawInstance ≈ indexedInstance
+	}
+	b += int64(cap(sc.byTarget)) * 24
+	return b
+}
